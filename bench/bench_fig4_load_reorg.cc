@@ -1,0 +1,78 @@
+// Figure 4: elastic partitioner insert and reorganization durations for
+// both workloads, with load-balancing performance (relative standard
+// deviation of per-node storage) as labels.
+//
+// Setup (§6.2): clusters start with 2 nodes and add 2 whenever capacity is
+// reached, ending at 8; MODIS runs 14 daily cycles (630 GB), AIS 10
+// quarterly cycles (400 GB). Queries are disabled — this figure measures
+// only the data-loading and redistribution phases.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/strings.h"
+#include "workload/ais.h"
+#include "workload/modis.h"
+#include "workload/runner.h"
+
+using namespace arraydb;
+
+int main() {
+  std::printf(
+      "Figure 4: Elastic partitioner insert and reorganization durations.\n"
+      "Labels denote load balancing performance in relative standard "
+      "deviation.\n"
+      "(paper reference: SIGMOD'14 Figure 4)\n\n");
+
+  workload::ModisWorkload modis;
+  workload::AisWorkload ais;
+
+  const std::vector<size_t> widths = {16, 12, 11, 9, 12, 11, 9};
+  bench::Row({"Partitioner", "MODIS ins", "MODIS re", "RSD", "AIS ins",
+              "AIS re", "RSD"},
+             widths);
+  bench::Row({"", "(min)", "(min)", "(%)", "(min)", "(min)", "(%)"}, widths);
+  bench::Rule(92);
+
+  double incr_reorg = 0.0;
+  int incr_count = 0;
+  double global_reorg = 0.0;
+  int global_count = 0;
+
+  for (const auto kind : core::AllPartitionerKinds()) {
+    workload::RunnerConfig cfg = bench::PartitionerExperimentConfig(kind);
+    cfg.run_queries = false;
+    workload::WorkloadRunner runner(cfg);
+    const auto rm = runner.Run(modis);
+    const auto ra = runner.Run(ais);
+    bench::Row({core::PartitionerKindName(kind),
+                util::StrFormat("%.1f", rm.total_insert_minutes),
+                util::StrFormat("%.1f", rm.total_reorg_minutes),
+                util::StrFormat("%.0f%%", rm.mean_rsd * 100.0),
+                util::StrFormat("%.1f", ra.total_insert_minutes),
+                util::StrFormat("%.1f", ra.total_reorg_minutes),
+                util::StrFormat("%.0f%%", ra.mean_rsd * 100.0)},
+               widths);
+    const double reorg = rm.total_reorg_minutes + ra.total_reorg_minutes;
+    if (kind == core::PartitionerKind::kRoundRobin ||
+        kind == core::PartitionerKind::kUniformRange) {
+      global_reorg += reorg;
+      ++global_count;
+    } else if (kind != core::PartitionerKind::kAppend) {
+      incr_reorg += reorg;
+      ++incr_count;
+    }
+  }
+  bench::Rule(92);
+  std::printf(
+      "Global schemes' mean reorganization is %.1fx the incremental "
+      "schemes'\n(paper: 2.5x on average; Append excluded — it moves "
+      "nothing).\n",
+      (global_reorg / global_count) / (incr_reorg / incr_count));
+  std::printf(
+      "Paper shape checks: insert time near-constant per workload across\n"
+      "partitioners; Append slightly slower inserts (single remote target);\n"
+      "fine-grained schemes (Round Robin / Extendible / Consistent) carry\n"
+      "the lowest RSD; Uniform Range is brittle to AIS skew.\n");
+  return 0;
+}

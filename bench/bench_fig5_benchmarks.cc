@@ -1,0 +1,63 @@
+// Figure 5: total benchmark times for the elastic partitioners — the
+// Science and Select-Project-Join suites of §3.3, summed over every
+// workload cycle for both use cases.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/strings.h"
+#include "workload/ais.h"
+#include "workload/modis.h"
+#include "workload/runner.h"
+
+using namespace arraydb;
+
+int main() {
+  std::printf(
+      "Figure 5: Benchmark times for elastic partitioners (minutes).\n"
+      "(paper reference: SIGMOD'14 Figure 5)\n\n");
+
+  workload::ModisWorkload modis;
+  workload::AisWorkload ais;
+
+  const std::vector<size_t> widths = {16, 13, 11, 11, 9, 9};
+  bench::Row({"Partitioner", "Science MODIS", "SPJ MODIS", "Science AIS",
+              "SPJ AIS", "Total"},
+             widths);
+  bench::Rule(84);
+
+  double baseline_total = 0.0;
+  double best_spatial_total = 1e18;
+  for (const auto kind : core::AllPartitionerKinds()) {
+    workload::WorkloadRunner runner(bench::PartitionerExperimentConfig(kind));
+    const auto rm = runner.Run(modis);
+    const auto ra = runner.Run(ais);
+    const double total = rm.total_benchmark_minutes() +
+                         ra.total_benchmark_minutes();
+    bench::Row({core::PartitionerKindName(kind),
+                util::StrFormat("%.1f", rm.total_science_minutes),
+                util::StrFormat("%.1f", rm.total_spj_minutes),
+                util::StrFormat("%.1f", ra.total_science_minutes),
+                util::StrFormat("%.1f", ra.total_spj_minutes),
+                util::StrFormat("%.1f", total)},
+               widths);
+    if (kind == core::PartitionerKind::kRoundRobin) baseline_total = total;
+    if (kind == core::PartitionerKind::kHilbertCurve ||
+        kind == core::PartitionerKind::kIncrementalQuadtree ||
+        kind == core::PartitionerKind::kKdTree) {
+      best_spatial_total = std::min(best_spatial_total, total);
+    }
+  }
+  bench::Rule(84);
+  std::printf(
+      "Best skew-aware n-dimensional scheme vs Round Robin baseline: "
+      "%.0f%% of the\nbaseline's total benchmark time (paper: spatial "
+      "schemes ~25%% faster overall).\n",
+      100.0 * best_spatial_total / baseline_total);
+  std::printf(
+      "Paper shape checks: SPJ tracks storage balance (hash schemes "
+      "fastest,\nrange schemes slower on skewed AIS); science analytics "
+      "favor the\nskew-aware n-dimensional partitioners on both workloads; "
+      "Uniform Range\nis the poorest AIS performer.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6: join duration for unskewed data — the MODIS vegetation-index
+// join over the most recent day of measurements, per workload cycle, for
+// every partitioner.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/strings.h"
+#include "workload/modis.h"
+#include "workload/runner.h"
+
+using namespace arraydb;
+
+int main() {
+  std::printf(
+      "Figure 6: Join duration for unskewed data (MODIS vegetation index\n"
+      "over the most recent day), minutes per workload cycle.\n"
+      "(paper reference: SIGMOD'14 Figure 6)\n\n");
+
+  workload::ModisWorkload modis;
+  std::map<std::string, std::vector<double>> series;
+  for (const auto kind : core::AllPartitionerKinds()) {
+    workload::WorkloadRunner runner(bench::PartitionerExperimentConfig(kind));
+    const auto result = runner.Run(modis);
+    auto& row = series[core::PartitionerKindName(kind)];
+    for (const auto& cycle : result.cycles) {
+      for (const auto& [name, minutes] : cycle.query_minutes) {
+        if (name == workload::ModisWorkload::kJoinQueryName) {
+          row.push_back(minutes);
+        }
+      }
+    }
+  }
+
+  std::vector<size_t> widths = {16};
+  std::vector<std::string> header = {"Partitioner"};
+  for (int c = 1; c <= modis.num_cycles(); ++c) {
+    widths.push_back(5);
+    header.push_back(util::StrFormat("c%d", c));
+  }
+  bench::Row(header, widths);
+  bench::Rule(16 + 7 * static_cast<size_t>(modis.num_cycles()));
+
+  double append_mean = 0.0;
+  double others_mean = 0.0;
+  int others = 0;
+  for (const auto kind : core::AllPartitionerKinds()) {
+    const auto& row = series[core::PartitionerKindName(kind)];
+    std::vector<std::string> cells = {core::PartitionerKindName(kind)};
+    double sum = 0.0;
+    for (const double m : row) {
+      cells.push_back(util::StrFormat("%.2f", m));
+      sum += m;
+    }
+    bench::Row(cells, widths);
+    const double mean = sum / static_cast<double>(row.size());
+    if (kind == core::PartitionerKind::kAppend) {
+      append_mean = mean;
+    } else {
+      others_mean += mean;
+      ++others;
+    }
+  }
+  bench::Rule(16 + 7 * static_cast<size_t>(modis.num_cycles()));
+  std::printf(
+      "Append averages %.1f min per join vs %.1f min for the other schemes\n"
+      "— the paper's unstable Append behaviour: the joined (most recent)\n"
+      "chunks sit on only one or two hosts, so the join never gains\n"
+      "parallelism as nodes are added, while every other scheme's latency\n"
+      "falls with cluster growth because the day's chunks spread over all\n"
+      "nodes. The non-splitting schemes (Consistent Hash, Uniform Range)\n"
+      "show the paper's slight dip once the host count reaches six.\n",
+      append_mean, others_mean / others);
+  return 0;
+}

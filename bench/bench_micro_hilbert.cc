@@ -1,0 +1,109 @@
+// Ablation microbenchmarks for the Hilbert curve substrate: index
+// throughput across dimensionalities, plus a locality comparison of
+// chunk orderings (Hilbert vs row-major vs Z-order) — the property the
+// Hilbert partitioner's range splits depend on.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "array/coordinates.h"
+#include "hilbert/hilbert.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace arraydb;
+
+void BM_HilbertIndex(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  util::Rng rng(5);
+  std::vector<uint32_t> point(static_cast<size_t>(dims));
+  for (auto _ : state) {
+    for (auto& c : point) {
+      c = static_cast<uint32_t>(rng.NextBounded(1ULL << bits));
+    }
+    benchmark::DoNotOptimize(hilbert::HilbertIndex(point, bits));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HilbertIndex)
+    ->Args({2, 8})
+    ->Args({3, 6})
+    ->Args({3, 10})
+    ->Args({4, 8});
+
+void BM_HilbertPoint(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  util::Rng rng(9);
+  const uint64_t space = 1ULL << (dims * bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hilbert::HilbertPoint(rng.NextBounded(space), dims, bits));
+  }
+}
+BENCHMARK(BM_HilbertPoint)->Args({2, 8})->Args({3, 6});
+
+// Mean Manhattan jump between consecutive cells of an ordering — lower is
+// better locality for range partitioning.
+double MeanJump(const std::vector<array::Coordinates>& order) {
+  double total = 0.0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    total += static_cast<double>(
+        array::ManhattanDistance(order[i], order[i - 1]));
+  }
+  return total / static_cast<double>(order.size() - 1);
+}
+
+void BM_OrderingLocality(benchmark::State& state) {
+  const int64_t side = 64;
+  const array::Coordinates extents = {side, side};
+  enum { kHilbert = 0, kRowMajor = 1, kZOrder = 2 };
+  const int mode = static_cast<int>(state.range(0));
+
+  double jump = 0.0;
+  for (auto _ : state) {
+    std::vector<std::pair<uint64_t, array::Coordinates>> cells;
+    cells.reserve(static_cast<size_t>(side * side));
+    for (int64_t x = 0; x < side; ++x) {
+      for (int64_t y = 0; y < side; ++y) {
+        uint64_t key = 0;
+        switch (mode) {
+          case kHilbert:
+            key = hilbert::HilbertRank({x, y}, extents);
+            break;
+          case kRowMajor:
+            key = static_cast<uint64_t>(x * side + y);
+            break;
+          case kZOrder: {
+            for (int b = 0; b < 6; ++b) {
+              key |= static_cast<uint64_t>((x >> b) & 1) << (2 * b + 1);
+              key |= static_cast<uint64_t>((y >> b) & 1) << (2 * b);
+            }
+            break;
+          }
+        }
+        cells.emplace_back(key, array::Coordinates{x, y});
+      }
+    }
+    std::sort(cells.begin(), cells.end());
+    std::vector<array::Coordinates> order;
+    order.reserve(cells.size());
+    for (auto& [key, c] : cells) order.push_back(std::move(c));
+    jump = MeanJump(order);
+    benchmark::DoNotOptimize(jump);
+  }
+  state.counters["mean_manhattan_jump"] = jump;
+  state.SetLabel(mode == kHilbert   ? "hilbert"
+                 : mode == kRowMajor ? "row-major"
+                                     : "z-order");
+}
+BENCHMARK(BM_OrderingLocality)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

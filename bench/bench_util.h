@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harnesses: aligned-table printing and
+// the standard §6.1 experiment configurations.
+
+#ifndef ARRAYDB_BENCH_BENCH_UTIL_H_
+#define ARRAYDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+#include "workload/runner.h"
+
+namespace arraydb::bench {
+
+/// Prints a horizontal rule sized to `width`.
+inline void Rule(size_t width) {
+  std::string line(width, '-');
+  std::printf("%s\n", line.c_str());
+}
+
+/// Prints one aligned row; the first column is left-aligned, the rest right.
+inline void Row(const std::vector<std::string>& cells,
+                const std::vector<size_t>& widths) {
+  std::string out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i == 0) {
+      out += util::PadRight(cells[i], widths[i]);
+    } else {
+      out += "  " + util::PadLeft(cells[i], widths[i]);
+    }
+  }
+  std::printf("%s\n", out.c_str());
+}
+
+/// The §6.2 partitioner-evaluation configuration: start with 2 nodes and
+/// add 2 whenever capacity is reached, ending at the 8-node testbed.
+inline workload::RunnerConfig PartitionerExperimentConfig(
+    core::PartitionerKind kind) {
+  workload::RunnerConfig cfg;
+  cfg.partitioner = kind;
+  cfg.policy = workload::ScaleOutPolicy::kCapacityTrigger;
+  cfg.initial_nodes = 2;
+  cfg.nodes_per_scaleout = 2;
+  cfg.max_nodes = 8;
+  return cfg;
+}
+
+}  // namespace arraydb::bench
+
+#endif  // ARRAYDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,98 @@
+// Tuning the leading staircase (§5): fitting the control loop to a
+// workload, then running it.
+//
+//   1. Algorithm 1 what-if analysis chooses s (derivative samples) from
+//      observed demand history.
+//   2. The Eq. 5-9 analytical cost model prices plan-ahead candidates p
+//      and picks the cheapest.
+//   3. The tuned staircase then drives a full elastic run, and we verify
+//      capacity always leads demand.
+//
+// Build & run:  ./build/examples/provisioner_tuning
+
+#include <cstdio>
+#include <vector>
+
+#include "core/provisioner.h"
+#include "core/tuning.h"
+#include "util/units.h"
+#include "workload/modis.h"
+#include "workload/runner.h"
+
+using namespace arraydb;
+
+int main() {
+  workload::ModisConfig modis_cfg;
+  modis_cfg.days = 30;
+  workload::ModisWorkload modis(modis_cfg);
+
+  // Observed demand history: cumulative storage after each daily ingest.
+  std::vector<double> loads;
+  double total = 0.0;
+  for (int day = 0; day < modis.num_cycles(); ++day) {
+    for (const auto& chunk : modis.GenerateBatch(day)) {
+      total += util::BytesToGb(static_cast<double>(chunk.bytes));
+    }
+    loads.push_back(total);
+  }
+  std::printf("Observed %zu daily demand points, final load %.1f GB\n\n",
+              loads.size(), loads.back());
+
+  // --- 1. What-if analysis for s (Algorithm 1). ---
+  const int psi = 4;
+  const auto errors = core::SamplingWhatIfErrors(loads, psi);
+  std::printf("What-if analysis (mean |prediction error| in GB):\n");
+  for (int s = 1; s <= psi; ++s) {
+    std::printf("  s = %d -> %.2f GB\n", s,
+                errors[static_cast<size_t>(s - 1)]);
+  }
+  const int best_s = core::TuneSampleCount(loads, psi);
+  std::printf("Chosen sample count: s = %d\n\n", best_s);
+
+  // --- 2. Analytical cost model for p (Eqs. 5-9). ---
+  core::ScaleOutCostModelParams params;
+  params.l0_gb = loads[9];
+  params.mu_gb = (loads[9] - loads[5]) / 4.0;
+  params.capacity_gb = 100.0;
+  params.n0 = 3;
+  params.w0_minutes = 45.0;  // Last observed benchmark latency.
+  params.delta_io_min_per_gb = 0.12;
+  params.t_net_min_per_gb = 0.25;
+  params.horizon_m = 8;
+  std::printf("Scale-out cost model (node hours over %d cycles):\n",
+              params.horizon_m);
+  for (const int p : {1, 2, 3, 6}) {
+    std::printf("  p = %d -> %.1f node-hours\n", p,
+                core::EstimateConfigCostNodeHours(p, params));
+  }
+  const int best_p = core::TunePlanAhead({1, 2, 3, 6}, params);
+  std::printf("Chosen plan-ahead: p = %d\n\n", best_p);
+
+  // --- 3. Run the tuned staircase. ---
+  workload::RunnerConfig cfg;
+  cfg.partitioner = core::PartitionerKind::kConsistentHash;
+  cfg.policy = workload::ScaleOutPolicy::kStaircase;
+  cfg.initial_nodes = 1;
+  cfg.staircase_samples = best_s;
+  cfg.staircase_plan_ahead = best_p;
+  cfg.max_nodes = 64;
+  cfg.run_queries = false;
+  workload::WorkloadRunner runner(cfg);
+  const auto result = runner.Run(modis);
+
+  std::printf("Tuned staircase run (s=%d, p=%d):\n", best_s, best_p);
+  std::printf("cycle  demand(GB)  capacity(GB)  nodes\n");
+  bool always_covered = true;
+  int scaleouts = 0;
+  for (const auto& m : result.cycles) {
+    const double capacity = static_cast<double>(m.nodes_after) * 100.0;
+    if (capacity < m.load_gb) always_covered = false;
+    if (m.nodes_after > m.nodes_before) ++scaleouts;
+    std::printf("%5d  %10.1f  %12.1f  %5d\n", m.cycle + 1, m.load_gb,
+                capacity, m.nodes_after);
+  }
+  std::printf(
+      "\n%d scale-out operations; capacity always led demand: %s\n",
+      scaleouts, always_covered ? "yes" : "NO");
+  return always_covered ? 0 : 1;
+}

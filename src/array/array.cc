@@ -1,0 +1,79 @@
+#include "array/array.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace arraydb::array {
+
+Array::Array(ArraySchema schema) : schema_(std::move(schema)) {
+  ARRAYDB_CHECK(schema_.Validate().ok());
+}
+
+util::Status Array::InsertCell(const Coordinates& pos,
+                               std::vector<double> values) {
+  if (pos.size() != static_cast<size_t>(schema_.num_dims())) {
+    return util::InvalidArgument("cell rank does not match schema");
+  }
+  if (values.size() != static_cast<size_t>(schema_.num_attrs())) {
+    return util::InvalidArgument("cell attribute count does not match schema");
+  }
+  for (int d = 0; d < schema_.num_dims(); ++d) {
+    const auto& dim = schema_.dims()[d];
+    if (pos[d] < dim.lo || (!dim.unbounded && pos[d] > dim.hi)) {
+      return util::OutOfRange("cell outside declared dimension range");
+    }
+  }
+  const Coordinates cc = schema_.ChunkOf(pos);
+  auto [it, inserted] = chunks_.try_emplace(cc, Chunk(cc));
+  (void)inserted;
+  it->second.AddCell(Cell{pos, std::move(values)}, schema_.BytesPerCell());
+  total_cells_ += 1;
+  total_bytes_ += schema_.BytesPerCell();
+  return util::Status::Ok();
+}
+
+util::Status Array::AddSyntheticChunk(const ChunkInfo& info) {
+  if (!schema_.ChunkInBounds(info.coords)) {
+    return util::OutOfRange("chunk outside declared grid: " +
+                            CoordinatesToString(info.coords));
+  }
+  if (chunks_.contains(info.coords)) {
+    return util::AlreadyExists("chunk exists (no-overwrite storage): " +
+                               CoordinatesToString(info.coords));
+  }
+  Chunk chunk(info.coords);
+  chunk.SetSyntheticSize(info.cell_count, info.bytes);
+  chunks_.emplace(info.coords, std::move(chunk));
+  total_cells_ += info.cell_count;
+  total_bytes_ += info.bytes;
+  return util::Status::Ok();
+}
+
+const Chunk* Array::FindChunk(const Coordinates& chunk_coords) const {
+  const auto it = chunks_.find(chunk_coords);
+  return it == chunks_.end() ? nullptr : &it->second;
+}
+
+std::vector<ChunkInfo> Array::ChunkInfos() const {
+  std::vector<ChunkInfo> out;
+  out.reserve(chunks_.size());
+  for (const auto& [coords, chunk] : chunks_) out.push_back(chunk.info());
+  std::sort(out.begin(), out.end(),
+            [](const ChunkInfo& a, const ChunkInfo& b) {
+              return CoordinatesLess(a.coords, b.coords);
+            });
+  return out;
+}
+
+std::vector<const Cell*> Array::AllCells() const {
+  std::vector<const Cell*> out;
+  out.reserve(static_cast<size_t>(total_cells_));
+  for (const auto& [coords, chunk] : chunks_) {
+    for (const auto& cell : chunk.cells()) out.push_back(&cell);
+  }
+  return out;
+}
+
+}  // namespace arraydb::array

@@ -1,0 +1,32 @@
+#include "array/chunk.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace arraydb::array {
+
+std::string ChunkInfo::ToString() const {
+  return util::StrFormat("chunk%s cells=%lld bytes=%lld",
+                         CoordinatesToString(coords).c_str(),
+                         static_cast<long long>(cell_count),
+                         static_cast<long long>(bytes));
+}
+
+void Chunk::AddCell(Cell cell, int64_t bytes_per_cell) {
+  ARRAYDB_CHECK_EQ(cell.pos.size(), info_.coords.size());
+  cells_.push_back(std::move(cell));
+  info_.cell_count += 1;
+  info_.bytes += bytes_per_cell;
+}
+
+void Chunk::SetSyntheticSize(int64_t cell_count, int64_t bytes) {
+  ARRAYDB_CHECK(cells_.empty());  // Synthetic and materialized modes are exclusive.
+  ARRAYDB_CHECK_GE(cell_count, 0);
+  ARRAYDB_CHECK_GE(bytes, 0);
+  info_.cell_count = cell_count;
+  info_.bytes = bytes;
+}
+
+}  // namespace arraydb::array

@@ -1,0 +1,66 @@
+// Chunks: the unit of I/O, memory allocation, and data placement.
+//
+// A chunk is an n-dimensional subarray identified by its chunk-grid
+// coordinates. Its physical size is variable — only non-empty cells are
+// stored — and, following SciDB's vertical partitioning, each attribute is a
+// separate physical chunk; all attributes of the same chunk position are
+// collocated on the same node, so placement operates on the combined size.
+//
+// ChunkInfo carries only metadata (coordinates + cell count + bytes), which
+// is what the paper-scale simulation uses. Chunk optionally materializes
+// cell payloads for small-scale query execution in tests and examples.
+
+#ifndef ARRAYDB_ARRAY_CHUNK_H_
+#define ARRAYDB_ARRAY_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/coordinates.h"
+
+namespace arraydb::array {
+
+/// Placement-relevant metadata for one chunk position (all attributes).
+struct ChunkInfo {
+  Coordinates coords;      // Position in the chunk grid.
+  int64_t cell_count = 0;  // Non-empty cells stored.
+  int64_t bytes = 0;       // Physical footprint over all attributes.
+
+  std::string ToString() const;
+};
+
+/// One materialized cell: its logical position plus one value per attribute
+/// (numeric attributes only; strings are modelled by their footprint).
+struct Cell {
+  Coordinates pos;
+  std::vector<double> values;
+};
+
+/// A materialized chunk: metadata plus cell payload.
+class Chunk {
+ public:
+  Chunk() = default;
+  explicit Chunk(Coordinates coords) { info_.coords = std::move(coords); }
+
+  const ChunkInfo& info() const { return info_; }
+  const Coordinates& coords() const { return info_.coords; }
+  int64_t cell_count() const { return info_.cell_count; }
+  int64_t bytes() const { return info_.bytes; }
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  /// Appends a cell and grows the byte footprint by `bytes_per_cell`.
+  void AddCell(Cell cell, int64_t bytes_per_cell);
+
+  /// Sets a synthetic physical size without materializing cells (used by the
+  /// paper-scale generators, where only the footprint matters).
+  void SetSyntheticSize(int64_t cell_count, int64_t bytes);
+
+ private:
+  ChunkInfo info_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace arraydb::array
+
+#endif  // ARRAYDB_ARRAY_CHUNK_H_

@@ -1,0 +1,62 @@
+#include "array/coordinates.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace arraydb::array {
+
+size_t CoordinatesHash::operator()(const Coordinates& c) const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int64_t v : c) {
+    h = util::HashCombine(h, static_cast<uint64_t>(v));
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string CoordinatesToString(const Coordinates& c) {
+  std::string out = "(";
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += util::StrFormat("%lld", static_cast<long long>(c[i]));
+  }
+  out += ")";
+  return out;
+}
+
+bool CoordinatesLess(const Coordinates& a, const Coordinates& b) {
+  return a < b;  // std::vector lexicographic compare
+}
+
+bool AreFaceAdjacent(const Coordinates& a, const Coordinates& b) {
+  ARRAYDB_CHECK_EQ(a.size(), b.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int64_t d = std::llabs(a[i] - b[i]);
+    if (d > 1) return false;
+    total += d;
+  }
+  return total == 1;
+}
+
+int64_t ManhattanDistance(const Coordinates& a, const Coordinates& b) {
+  ARRAYDB_CHECK_EQ(a.size(), b.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::llabs(a[i] - b[i]);
+  return total;
+}
+
+int64_t ChebyshevDistance(const Coordinates& a, const Coordinates& b) {
+  ARRAYDB_CHECK_EQ(a.size(), b.size());
+  int64_t best = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int64_t d = std::llabs(a[i] - b[i]);
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+}  // namespace arraydb::array

@@ -1,0 +1,40 @@
+// Coordinates identify positions in logical array space and in the coarser
+// chunk grid. A coordinate vector has one entry per array dimension.
+
+#ifndef ARRAYDB_ARRAY_COORDINATES_H_
+#define ARRAYDB_ARRAY_COORDINATES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arraydb::array {
+
+/// Position of a cell in logical array space, or of a chunk in the chunk
+/// grid (context-dependent). One entry per dimension.
+using Coordinates = std::vector<int64_t>;
+
+/// Hash functor so Coordinates can key unordered containers.
+struct CoordinatesHash {
+  size_t operator()(const Coordinates& c) const;
+};
+
+/// Renders "(x, y, z)".
+std::string CoordinatesToString(const Coordinates& c);
+
+/// Lexicographic comparison (for deterministic iteration orders).
+bool CoordinatesLess(const Coordinates& a, const Coordinates& b);
+
+/// True if a and b differ by exactly 1 in one dimension and are equal in all
+/// others (face adjacency in the chunk grid).
+bool AreFaceAdjacent(const Coordinates& a, const Coordinates& b);
+
+/// Manhattan (L1) distance between two coordinate vectors of equal rank.
+int64_t ManhattanDistance(const Coordinates& a, const Coordinates& b);
+
+/// Chebyshev (L-infinity) distance between two coordinate vectors.
+int64_t ChebyshevDistance(const Coordinates& a, const Coordinates& b);
+
+}  // namespace arraydb::array
+
+#endif  // ARRAYDB_ARRAY_COORDINATES_H_

@@ -1,0 +1,146 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace arraydb::cluster {
+
+Cluster::Cluster(int initial_nodes, double node_capacity_gb)
+    : node_capacity_gb_(node_capacity_gb) {
+  ARRAYDB_CHECK_GE(initial_nodes, 1);
+  ARRAYDB_CHECK_GT(node_capacity_gb, 0.0);
+  node_bytes_.assign(static_cast<size_t>(initial_nodes), 0);
+  node_chunks_.assign(static_cast<size_t>(initial_nodes), 0);
+}
+
+double Cluster::CapacityGb() const {
+  return static_cast<double>(num_nodes()) * node_capacity_gb_;
+}
+
+NodeId Cluster::AddNodes(int k) {
+  ARRAYDB_CHECK_GE(k, 1);
+  const NodeId first = num_nodes();
+  node_bytes_.resize(node_bytes_.size() + static_cast<size_t>(k), 0);
+  node_chunks_.resize(node_chunks_.size() + static_cast<size_t>(k), 0);
+  return first;
+}
+
+util::Status Cluster::PlaceChunk(const array::Coordinates& coords,
+                                 int64_t bytes, NodeId node) {
+  if (node < 0 || node >= num_nodes()) {
+    return util::InvalidArgument(
+        util::StrFormat("placement on unknown node %d", node));
+  }
+  if (bytes < 0) return util::InvalidArgument("negative chunk size");
+  if (chunk_map_.contains(coords)) {
+    return util::AlreadyExists("chunk exists (no-overwrite storage): " +
+                               array::CoordinatesToString(coords));
+  }
+  chunk_map_.emplace(coords, ChunkRecord{coords, bytes, node});
+  node_bytes_[static_cast<size_t>(node)] += bytes;
+  node_chunks_[static_cast<size_t>(node)] += 1;
+  total_bytes_ += bytes;
+  return util::Status::Ok();
+}
+
+util::Status Cluster::Apply(const MovePlan& plan) {
+  // Validate the whole plan before mutating anything.
+  for (const auto& m : plan.moves()) {
+    const auto it = chunk_map_.find(m.coords);
+    if (it == chunk_map_.end()) {
+      return util::NotFound("move of unknown chunk " +
+                            array::CoordinatesToString(m.coords));
+    }
+    if (it->second.node != m.from) {
+      return util::FailedPrecondition(util::StrFormat(
+          "move of %s claims owner %d but cluster records %d",
+          array::CoordinatesToString(m.coords).c_str(), m.from,
+          it->second.node));
+    }
+    if (it->second.bytes != m.bytes) {
+      return util::FailedPrecondition("move byte count mismatch for " +
+                                      array::CoordinatesToString(m.coords));
+    }
+    if (m.to < 0 || m.to >= num_nodes()) {
+      return util::InvalidArgument(
+          util::StrFormat("move to unknown node %d", m.to));
+    }
+  }
+  for (const auto& m : plan.moves()) {
+    auto& rec = chunk_map_.at(m.coords);
+    node_bytes_[static_cast<size_t>(rec.node)] -= rec.bytes;
+    node_chunks_[static_cast<size_t>(rec.node)] -= 1;
+    rec.node = m.to;
+    node_bytes_[static_cast<size_t>(m.to)] += rec.bytes;
+    node_chunks_[static_cast<size_t>(m.to)] += 1;
+  }
+  return util::Status::Ok();
+}
+
+NodeId Cluster::OwnerOf(const array::Coordinates& coords) const {
+  const auto it = chunk_map_.find(coords);
+  return it == chunk_map_.end() ? kInvalidNode : it->second.node;
+}
+
+bool Cluster::Contains(const array::Coordinates& coords) const {
+  return chunk_map_.contains(coords);
+}
+
+int64_t Cluster::NodeBytes(NodeId node) const {
+  ARRAYDB_CHECK_GE(node, 0);
+  ARRAYDB_CHECK_LT(node, num_nodes());
+  return node_bytes_[static_cast<size_t>(node)];
+}
+
+double Cluster::NodeLoadGb(NodeId node) const {
+  return util::BytesToGb(static_cast<double>(NodeBytes(node)));
+}
+
+std::vector<double> Cluster::NodeLoadsGb() const {
+  std::vector<double> out(node_bytes_.size());
+  for (size_t i = 0; i < node_bytes_.size(); ++i) {
+    out[i] = util::BytesToGb(static_cast<double>(node_bytes_[i]));
+  }
+  return out;
+}
+
+double Cluster::TotalGb() const {
+  return util::BytesToGb(static_cast<double>(total_bytes_));
+}
+
+double Cluster::LoadRsd() const { return util::RelativeStdev(NodeLoadsGb()); }
+
+int64_t Cluster::NodeChunkCount(NodeId node) const {
+  ARRAYDB_CHECK_GE(node, 0);
+  ARRAYDB_CHECK_LT(node, num_nodes());
+  return node_chunks_[static_cast<size_t>(node)];
+}
+
+std::vector<ChunkRecord> Cluster::ChunksOnNode(NodeId node) const {
+  std::vector<ChunkRecord> out;
+  for (const auto& [coords, rec] : chunk_map_) {
+    if (rec.node == node) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChunkRecord& a, const ChunkRecord& b) {
+              return array::CoordinatesLess(a.coords, b.coords);
+            });
+  return out;
+}
+
+std::vector<ChunkRecord> Cluster::AllChunks() const {
+  std::vector<ChunkRecord> out;
+  out.reserve(chunk_map_.size());
+  for (const auto& [coords, rec] : chunk_map_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const ChunkRecord& a, const ChunkRecord& b) {
+              return array::CoordinatesLess(a.coords, b.coords);
+            });
+  return out;
+}
+
+}  // namespace arraydb::cluster

@@ -1,0 +1,102 @@
+// Shared-nothing cluster substrate.
+//
+// The Cluster is the single source of truth for chunk placement: which node
+// stores each chunk position and how many bytes it occupies. Partitioners
+// are pure policy objects that consult this state and emit MovePlans; the
+// Cluster validates and applies them. Nodes are homogeneous with a fixed
+// per-node storage capacity (the paper's c), and the node set only ever
+// grows — scientific databases are monotonic (§1).
+
+#ifndef ARRAYDB_CLUSTER_CLUSTER_H_
+#define ARRAYDB_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/coordinates.h"
+#include "cluster/transfer.h"
+#include "util/status.h"
+
+namespace arraydb::cluster {
+
+/// Placement record for one chunk position.
+struct ChunkRecord {
+  array::Coordinates coords;
+  int64_t bytes = 0;
+  NodeId node = kInvalidNode;
+};
+
+class Cluster {
+ public:
+  /// Creates `initial_nodes` empty nodes of `node_capacity_gb` each.
+  Cluster(int initial_nodes, double node_capacity_gb);
+
+  int num_nodes() const { return static_cast<int>(node_bytes_.size()); }
+  double node_capacity_gb() const { return node_capacity_gb_; }
+
+  /// Total provisioned capacity in GB (N * c).
+  double CapacityGb() const;
+
+  /// Adds `k` empty nodes; returns the id of the first new node.
+  NodeId AddNodes(int k);
+
+  /// Records a brand-new chunk on `node`. Fails on duplicate coordinates
+  /// (no-overwrite storage) or an unknown node.
+  util::Status PlaceChunk(const array::Coordinates& coords, int64_t bytes,
+                          NodeId node);
+
+  /// Applies a move plan; every move must name the chunk's current owner.
+  util::Status Apply(const MovePlan& plan);
+
+  /// Owner of a chunk, or kInvalidNode if the chunk is not stored.
+  NodeId OwnerOf(const array::Coordinates& coords) const;
+
+  /// True if a chunk with these coordinates is stored.
+  bool Contains(const array::Coordinates& coords) const;
+
+  int64_t num_chunks() const { return static_cast<int64_t>(chunk_map_.size()); }
+
+  /// Stored bytes on one node.
+  int64_t NodeBytes(NodeId node) const;
+  double NodeLoadGb(NodeId node) const;
+
+  /// Stored bytes per node, indexed by NodeId.
+  std::vector<double> NodeLoadsGb() const;
+
+  int64_t TotalBytes() const { return total_bytes_; }
+  double TotalGb() const;
+
+  /// Relative standard deviation of per-node loads — the paper's storage
+  /// balance metric (Figure 4 labels). Returns a fraction, not a percent.
+  double LoadRsd() const;
+
+  /// Number of chunks stored on `node`.
+  int64_t NodeChunkCount(NodeId node) const;
+
+  /// All chunk records on one node, in deterministic (lexicographic) order.
+  std::vector<ChunkRecord> ChunksOnNode(NodeId node) const;
+
+  /// All chunk records, in deterministic order.
+  std::vector<ChunkRecord> AllChunks() const;
+
+  /// Unordered placement map for fast scans.
+  const std::unordered_map<array::Coordinates, ChunkRecord,
+                           array::CoordinatesHash>&
+  chunk_map() const {
+    return chunk_map_;
+  }
+
+ private:
+  double node_capacity_gb_;
+  std::vector<int64_t> node_bytes_;
+  std::vector<int64_t> node_chunks_;
+  std::unordered_map<array::Coordinates, ChunkRecord, array::CoordinatesHash>
+      chunk_map_;
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace arraydb::cluster
+
+#endif  // ARRAYDB_CLUSTER_CLUSTER_H_

@@ -1,0 +1,57 @@
+#include "core/append.h"
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace arraydb::core {
+
+AppendPartitioner::AppendPartitioner(int initial_nodes,
+                                     double node_capacity_gb,
+                                     double fill_fraction)
+    : node_capacity_gb_(node_capacity_gb),
+      fill_fraction_(fill_fraction),
+      num_nodes_(initial_nodes),
+      assigned_bytes_(static_cast<size_t>(initial_nodes), 0) {
+  ARRAYDB_CHECK_GE(initial_nodes, 1);
+  ARRAYDB_CHECK_GT(fill_fraction, 0.0);
+  ARRAYDB_CHECK_LE(fill_fraction, 1.0);
+}
+
+double AppendPartitioner::UsableBytesPerNode() const {
+  return util::GbToBytes(node_capacity_gb_) * fill_fraction_;
+}
+
+NodeId AppendPartitioner::PlaceChunk(const cluster::Cluster& cluster,
+                                     const array::ChunkInfo& chunk) {
+  ARRAYDB_CHECK_EQ(cluster.num_nodes(), num_nodes_);
+  // Spill forward while the current target is full. If every node is full,
+  // the last node absorbs the overflow (the provisioner is responsible for
+  // adding capacity before that happens).
+  const double usable = UsableBytesPerNode();
+  while (target_ + 1 < num_nodes_ &&
+         static_cast<double>(assigned_bytes_[static_cast<size_t>(target_)] +
+                             chunk.bytes) > usable) {
+    ++target_;
+  }
+  assigned_bytes_[static_cast<size_t>(target_)] += chunk.bytes;
+  table_[chunk.coords] = target_;
+  return target_;
+}
+
+cluster::MovePlan AppendPartitioner::PlanScaleOut(
+    const cluster::Cluster& cluster, int old_node_count) {
+  ARRAYDB_CHECK_EQ(old_node_count, num_nodes_);
+  num_nodes_ = cluster.num_nodes();
+  assigned_bytes_.resize(static_cast<size_t>(num_nodes_), 0);
+  // Constant-time scale-out: the new nodes become spill targets on their
+  // first write; no chunk moves.
+  return cluster::MovePlan();
+}
+
+NodeId AppendPartitioner::Locate(
+    const array::Coordinates& chunk_coords) const {
+  const auto it = table_.find(chunk_coords);
+  return it == table_.end() ? kInvalidNode : it->second;
+}
+
+}  // namespace arraydb::core

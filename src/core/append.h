@@ -1,0 +1,53 @@
+// Append partitioner (§4.2): range partitioning by insert order.
+//
+// Each new chunk goes to the first node that is not at capacity; the
+// coordinator tracks bytes assigned to the current target and spills to the
+// next host when it fills. Scale-out is constant time — a new node simply
+// becomes the next spill target — so reorganization moves no data, at the
+// price of poor balance right after an expansion and time-only clustering.
+
+#ifndef ARRAYDB_CORE_APPEND_H_
+#define ARRAYDB_CORE_APPEND_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/partitioner.h"
+
+namespace arraydb::core {
+
+class AppendPartitioner final : public Partitioner {
+ public:
+  /// `fill_fraction` of node capacity is usable before spilling (the paper
+  /// keeps headroom so a node can absorb reorganized data later).
+  AppendPartitioner(int initial_nodes, double node_capacity_gb,
+                    double fill_fraction = 0.95);
+
+  const char* name() const override { return "Append"; }
+  uint32_t features() const override {
+    return kIncrementalScaleOut | kSkewAware;
+  }
+
+  NodeId PlaceChunk(const cluster::Cluster& cluster,
+                    const array::ChunkInfo& chunk) override;
+  cluster::MovePlan PlanScaleOut(const cluster::Cluster& cluster,
+                                 int old_node_count) override;
+  NodeId Locate(const array::Coordinates& chunk_coords) const override;
+
+  NodeId current_target() const { return target_; }
+
+ private:
+  double UsableBytesPerNode() const;
+
+  double node_capacity_gb_;
+  double fill_fraction_;
+  int num_nodes_;
+  NodeId target_ = 0;
+  std::vector<int64_t> assigned_bytes_;
+  std::unordered_map<array::Coordinates, NodeId, array::CoordinatesHash>
+      table_;
+};
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_APPEND_H_

@@ -1,0 +1,49 @@
+// Consistent Hash partitioner (§4.2, Karger et al. [24]).
+//
+// Nodes and chunks hash onto a 64-bit ring; a chunk lives on the first node
+// clockwise from its hash. Each node projects `vnodes_per_node` virtual
+// points for smoothness. Scale-out is incremental by construction: adding a
+// node only captures ring arcs from existing owners, so chunks move only to
+// the new hosts. Balanced in chunk count, but blind to both storage skew
+// and array space.
+
+#ifndef ARRAYDB_CORE_CONSISTENT_HASH_H_
+#define ARRAYDB_CORE_CONSISTENT_HASH_H_
+
+#include <map>
+
+#include "core/partitioner.h"
+
+namespace arraydb::core {
+
+class ConsistentHashPartitioner final : public Partitioner {
+ public:
+  explicit ConsistentHashPartitioner(int initial_nodes,
+                                     int vnodes_per_node = 64);
+
+  const char* name() const override { return "Consistent Hash"; }
+  uint32_t features() const override {
+    return kIncrementalScaleOut | kFineGrainedPartitioning;
+  }
+
+  NodeId PlaceChunk(const cluster::Cluster& cluster,
+                    const array::ChunkInfo& chunk) override;
+  cluster::MovePlan PlanScaleOut(const cluster::Cluster& cluster,
+                                 int old_node_count) override;
+  NodeId Locate(const array::Coordinates& chunk_coords) const override;
+
+  int num_ring_points() const { return static_cast<int>(ring_.size()); }
+
+ private:
+  void InsertNode(NodeId node);
+  NodeId OwnerOfHash(uint64_t h) const;
+
+  int vnodes_per_node_;
+  int num_nodes_;
+  // Ring position -> owning node. std::map gives ordered successor lookup.
+  std::map<uint64_t, NodeId> ring_;
+};
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_CONSISTENT_HASH_H_

@@ -1,0 +1,69 @@
+// ElasticEngine: the coordinator tying cluster, partitioner, and cost model
+// together. It executes the two elastic operations of the workload model —
+// batch ingest and scale-out-plus-reorganize — updating placement state and
+// charging simulated elapsed time.
+
+#ifndef ARRAYDB_CORE_ELASTIC_ENGINE_H_
+#define ARRAYDB_CORE_ELASTIC_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/schema.h"
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "core/partitioner.h"
+
+namespace arraydb::core {
+
+struct InsertStats {
+  double minutes = 0.0;
+  double gb = 0.0;
+  int64_t chunks = 0;
+};
+
+struct ReorgStats {
+  double minutes = 0.0;
+  double moved_gb = 0.0;
+  int64_t chunks_moved = 0;
+  int nodes_added = 0;
+  /// Whether every relocation targeted a newly added node (Table 1's
+  /// incremental scale-out property, verified against the substrate).
+  bool only_to_new_nodes = true;
+};
+
+class ElasticEngine {
+ public:
+  ElasticEngine(std::unique_ptr<Partitioner> partitioner, int initial_nodes,
+                double node_capacity_gb,
+                cluster::CostParams cost_params = cluster::CostParams());
+
+  /// Ingests one batch: the coordinator (node 0) routes each chunk through
+  /// the partitioner and records it in the cluster.
+  InsertStats IngestBatch(const std::vector<array::ChunkInfo>& batch);
+
+  /// Adds `nodes_to_add` empty nodes, asks the partitioner for a
+  /// repartitioning plan, applies it, and prices the reorganization.
+  ReorgStats ScaleOut(int nodes_to_add);
+
+  const cluster::Cluster& cluster() const { return cluster_; }
+  Partitioner& partitioner() { return *partitioner_; }
+  const Partitioner& partitioner() const { return *partitioner_; }
+  const cluster::CostModel& cost_model() const { return cost_model_; }
+
+  /// Cumulative simulated minutes spent on inserts and reorganizations.
+  double total_insert_minutes() const { return total_insert_minutes_; }
+  double total_reorg_minutes() const { return total_reorg_minutes_; }
+
+ private:
+  std::unique_ptr<Partitioner> partitioner_;
+  cluster::Cluster cluster_;
+  cluster::CostModel cost_model_;
+  double total_insert_minutes_ = 0.0;
+  double total_reorg_minutes_ = 0.0;
+};
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_ELASTIC_ENGINE_H_

@@ -1,0 +1,47 @@
+// Extendible Hash partitioner (§4.2, Fagin et al. [19]).
+//
+// A directory of 2^g entries maps the low-order g bits of a chunk's hash to
+// a node. When the cluster scales out, the most heavily burdened node's
+// directory entries are split — by the next more significant hash bit when
+// it owns a single entry — and approximately half of its stored bytes (the
+// skew-aware part) are handed to a new host. Scale-out is incremental:
+// reassigned entries point only at new nodes.
+
+#ifndef ARRAYDB_CORE_EXTENDIBLE_HASH_H_
+#define ARRAYDB_CORE_EXTENDIBLE_HASH_H_
+
+#include <vector>
+
+#include "core/partitioner.h"
+
+namespace arraydb::core {
+
+class ExtendibleHashPartitioner final : public Partitioner {
+ public:
+  explicit ExtendibleHashPartitioner(int initial_nodes);
+
+  const char* name() const override { return "Extendible Hash"; }
+  uint32_t features() const override {
+    return kIncrementalScaleOut | kFineGrainedPartitioning | kSkewAware;
+  }
+
+  NodeId PlaceChunk(const cluster::Cluster& cluster,
+                    const array::ChunkInfo& chunk) override;
+  cluster::MovePlan PlanScaleOut(const cluster::Cluster& cluster,
+                                 int old_node_count) override;
+  NodeId Locate(const array::Coordinates& chunk_coords) const override;
+
+  int global_depth() const { return global_depth_; }
+
+ private:
+  uint64_t DirMask() const { return directory_.size() - 1; }
+  void DoubleDirectory();
+
+  int num_nodes_;
+  int global_depth_;
+  std::vector<NodeId> directory_;  // Size 2^global_depth_.
+};
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_EXTENDIBLE_HASH_H_

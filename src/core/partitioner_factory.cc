@@ -1,0 +1,78 @@
+#include "core/partitioner_factory.h"
+
+#include "core/append.h"
+#include "core/consistent_hash.h"
+#include "core/extendible_hash.h"
+#include "core/hilbert_partitioner.h"
+#include "core/kdtree.h"
+#include "core/quadtree.h"
+#include "core/round_robin.h"
+#include "core/uniform_range.h"
+#include "util/logging.h"
+
+namespace arraydb::core {
+
+std::vector<PartitionerKind> AllPartitionerKinds() {
+  return {
+      PartitionerKind::kAppend,        PartitionerKind::kConsistentHash,
+      PartitionerKind::kExtendibleHash, PartitionerKind::kHilbertCurve,
+      PartitionerKind::kIncrementalQuadtree, PartitionerKind::kKdTree,
+      PartitionerKind::kRoundRobin,    PartitionerKind::kUniformRange,
+  };
+}
+
+const char* PartitionerKindName(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kAppend:
+      return "Append";
+    case PartitionerKind::kConsistentHash:
+      return "Consistent Hash";
+    case PartitionerKind::kExtendibleHash:
+      return "Extendible Hash";
+    case PartitionerKind::kHilbertCurve:
+      return "Hilbert Curve";
+    case PartitionerKind::kIncrementalQuadtree:
+      return "Incr. Quadtree";
+    case PartitionerKind::kKdTree:
+      return "K-d Tree";
+    case PartitionerKind::kRoundRobin:
+      return "Round Robin";
+    case PartitionerKind::kUniformRange:
+      return "Uniform Range";
+  }
+  return "?";
+}
+
+std::unique_ptr<Partitioner> MakePartitioner(PartitionerKind kind,
+                                             const array::ArraySchema& schema,
+                                             int initial_nodes,
+                                             double node_capacity_gb,
+                                             int growth_dim) {
+  switch (kind) {
+    case PartitionerKind::kAppend:
+      return std::make_unique<AppendPartitioner>(initial_nodes,
+                                                 node_capacity_gb);
+    case PartitionerKind::kConsistentHash:
+      return std::make_unique<ConsistentHashPartitioner>(initial_nodes);
+    case PartitionerKind::kExtendibleHash:
+      return std::make_unique<ExtendibleHashPartitioner>(initial_nodes);
+    case PartitionerKind::kHilbertCurve:
+      return std::make_unique<HilbertPartitioner>(schema, initial_nodes,
+                                                  growth_dim);
+    case PartitionerKind::kIncrementalQuadtree:
+      return std::make_unique<QuadtreePartitioner>(schema, initial_nodes,
+                                                   growth_dim);
+    case PartitionerKind::kKdTree:
+      return std::make_unique<KdTreePartitioner>(schema, initial_nodes,
+                                                 growth_dim);
+    case PartitionerKind::kRoundRobin:
+      return std::make_unique<RoundRobinPartitioner>(schema, initial_nodes);
+    case PartitionerKind::kUniformRange:
+      return std::make_unique<UniformRangePartitioner>(schema, initial_nodes,
+                                                       growth_dim);
+  }
+  ARRAYDB_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace arraydb::core

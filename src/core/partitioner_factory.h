@@ -1,0 +1,42 @@
+// Construction of partitioners by kind, for sweeping experiments over all
+// schemes (the paper evaluates all eight side by side).
+
+#ifndef ARRAYDB_CORE_PARTITIONER_FACTORY_H_
+#define ARRAYDB_CORE_PARTITIONER_FACTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "array/schema.h"
+#include "core/partitioner.h"
+#include "core/spatial.h"
+
+namespace arraydb::core {
+
+enum class PartitionerKind {
+  kAppend,
+  kConsistentHash,
+  kExtendibleHash,
+  kHilbertCurve,
+  kIncrementalQuadtree,
+  kKdTree,
+  kRoundRobin,
+  kUniformRange,
+};
+
+/// All kinds in the paper's presentation order (Figures 4-5).
+std::vector<PartitionerKind> AllPartitionerKinds();
+
+const char* PartitionerKindName(PartitionerKind kind);
+
+/// Instantiates a partitioner over `schema` for a cluster that starts with
+/// `initial_nodes` nodes of `node_capacity_gb` each. `growth_dim` names the
+/// unbounded (time) dimension that the spatial range partitioners must not
+/// cut (see core/spatial.h); hash partitioners ignore it.
+std::unique_ptr<Partitioner> MakePartitioner(
+    PartitionerKind kind, const array::ArraySchema& schema, int initial_nodes,
+    double node_capacity_gb, int growth_dim = SpatialProjection::kNone);
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_PARTITIONER_FACTORY_H_

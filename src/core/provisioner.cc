@@ -1,0 +1,57 @@
+#include "core/provisioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace arraydb::core {
+
+LeadingStaircase::LeadingStaircase(StaircaseConfig config) : config_(config) {
+  ARRAYDB_CHECK_GT(config_.node_capacity_gb, 0.0);
+  ARRAYDB_CHECK_GE(config_.samples, 1);
+  ARRAYDB_CHECK_GE(config_.plan_ahead, 0);
+}
+
+void LeadingStaircase::ObserveLoad(double load_gb) {
+  ARRAYDB_CHECK_GE(load_gb, 0.0);
+  history_.push_back(load_gb);
+}
+
+ProvisionDecision LeadingStaircase::Evaluate(double projected_load_gb,
+                                             int current_nodes) const {
+  ProvisionDecision decision;
+  const double capacity =
+      static_cast<double>(current_nodes) * config_.node_capacity_gb;
+  // Eq. 2: proportional term — demand in excess of present capacity.
+  decision.proportional_gb = projected_load_gb - capacity;
+  if (decision.proportional_gb <= 0.0) {
+    return decision;  // Within capacity: the provisioner is done.
+  }
+
+  // Eq. 3: derivative over the last s observed cycles. Early in a workload
+  // there may be fewer than s samples; use as many as exist.
+  const int s = std::min(config_.samples,
+                         static_cast<int>(history_.size()));
+  if (s >= 1) {
+    const double l_now = projected_load_gb;
+    const double l_past = history_[history_.size() - static_cast<size_t>(s)];
+    decision.derivative_gb_per_cycle = (l_now - l_past) / static_cast<double>(s);
+  }
+  if (decision.derivative_gb_per_cycle < 0.0) {
+    // Storage is monotone; a negative estimate only happens with a
+    // projected load below history (not expected) — clamp to reactive-only.
+    decision.derivative_gb_per_cycle = 0.0;
+  }
+
+  // Eq. 4: nodes for the present deficit plus p cycles of forecast growth.
+  const double needed_gb =
+      decision.proportional_gb +
+      static_cast<double>(config_.plan_ahead) * decision.derivative_gb_per_cycle;
+  decision.nodes_to_add = static_cast<int>(
+      std::ceil(needed_gb / config_.node_capacity_gb));
+  decision.nodes_to_add = std::max(decision.nodes_to_add, 1);
+  return decision;
+}
+
+}  // namespace arraydb::core

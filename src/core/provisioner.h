@@ -1,0 +1,61 @@
+// The leading staircase provisioner (§5.1).
+//
+// An elastic array database expands in discrete steps, like a staircase
+// that stays ahead of the demand curve (Figure 3). When the projected
+// storage demand of an incoming insert exceeds provisioned capacity, a
+// Proportional-Derivative control loop sizes the next step:
+//
+//   p_i = l_i - N * c                    (Eq. 2, proportional error)
+//   Δ   = (l_i - l_{i-s}) / s            (Eq. 3, demand derivative)
+//   k   = ceil((p_i + p * Δ) / c)        (Eq. 4, nodes to add)
+//
+// where c is per-node capacity, s the number of history samples for the
+// derivative, and p how many future workload cycles each step provisions.
+
+#ifndef ARRAYDB_CORE_PROVISIONER_H_
+#define ARRAYDB_CORE_PROVISIONER_H_
+
+#include <vector>
+
+namespace arraydb::core {
+
+struct StaircaseConfig {
+  double node_capacity_gb = 100.0;  // c
+  int samples = 4;                  // s
+  int plan_ahead = 3;               // p (the set point of Figure 8)
+};
+
+/// One control-loop evaluation, with its intermediate terms exposed for
+/// inspection and testing.
+struct ProvisionDecision {
+  int nodes_to_add = 0;
+  double proportional_gb = 0.0;           // p_i of Eq. 2.
+  double derivative_gb_per_cycle = 0.0;   // Δ of Eq. 3.
+};
+
+class LeadingStaircase {
+ public:
+  explicit LeadingStaircase(StaircaseConfig config);
+
+  const StaircaseConfig& config() const { return config_; }
+
+  /// Records the observed storage demand at the end of a workload cycle.
+  void ObserveLoad(double load_gb);
+
+  /// Evaluates the control loop for the cycle whose post-insert demand is
+  /// `projected_load_gb`, against `current_nodes` provisioned nodes.
+  /// Returns 0 nodes when the system is within capacity.
+  ProvisionDecision Evaluate(double projected_load_gb,
+                             int current_nodes) const;
+
+  /// Load history observed so far (most recent last).
+  const std::vector<double>& history() const { return history_; }
+
+ private:
+  StaircaseConfig config_;
+  std::vector<double> history_;
+};
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_PROVISIONER_H_

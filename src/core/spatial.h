@@ -1,0 +1,63 @@
+// Projection of chunk coordinates onto the partitioned subspace.
+//
+// Scientific arrays have a growth dimension — time, declared unbounded in
+// the paper's schemas (time=0,*) — along which the store grows forever.
+// A range partitioner that cut this dimension would funnel every future
+// insert into the newest region's host, so the spatial schemes (K-d Tree,
+// Incremental Quadtree, Hilbert Curve, Uniform Range) partition the
+// remaining, bounded dimensions and collocate each spatial column across
+// time. SpatialProjection centralizes that coordinate mapping; passing
+// growth_dim = kNone partitions the full space (useful for static arrays
+// and property tests).
+
+#ifndef ARRAYDB_CORE_SPATIAL_H_
+#define ARRAYDB_CORE_SPATIAL_H_
+
+#include <vector>
+
+#include "array/coordinates.h"
+#include "array/schema.h"
+#include "util/logging.h"
+
+namespace arraydb::core {
+
+class SpatialProjection {
+ public:
+  static constexpr int kNone = -1;
+
+  SpatialProjection(const array::ArraySchema& schema, int growth_dim)
+      : growth_dim_(growth_dim) {
+    ARRAYDB_CHECK_GE(growth_dim, kNone);
+    ARRAYDB_CHECK_LT(growth_dim, schema.num_dims());
+    const array::Coordinates full = schema.ChunkGridExtents();
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      if (d == growth_dim_) continue;
+      dims_.push_back(d);
+      extents_.push_back(full[static_cast<size_t>(d)]);
+    }
+    ARRAYDB_CHECK(!dims_.empty());
+  }
+
+  int growth_dim() const { return growth_dim_; }
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+
+  /// Extents of the projected chunk grid.
+  const array::Coordinates& extents() const { return extents_; }
+
+  /// Drops the growth dimension from full chunk coordinates.
+  array::Coordinates Project(const array::Coordinates& full) const {
+    array::Coordinates out;
+    out.reserve(dims_.size());
+    for (const int d : dims_) out.push_back(full[static_cast<size_t>(d)]);
+    return out;
+  }
+
+ private:
+  int growth_dim_;
+  std::vector<int> dims_;      // Full-space indexes of partitioned dims.
+  array::Coordinates extents_;
+};
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_SPATIAL_H_

@@ -1,0 +1,138 @@
+#include "core/tuning.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace arraydb::core {
+
+std::vector<double> SamplingWhatIfErrors(const std::vector<double>& loads,
+                                         int psi) {
+  ARRAYDB_CHECK_GE(psi, 1);
+  const int d = static_cast<int>(loads.size());
+  std::vector<double> errors(static_cast<size_t>(psi),
+                             std::numeric_limits<double>::infinity());
+  // Algorithm 1: for each s, slide over cycles i = s+1 .. d-1 (0-based
+  // i = s .. d-2 so that l_{i+1} exists), estimate the derivative from the
+  // last s points and compare with the observed next-step change.
+  for (int s = 1; s <= psi; ++s) {
+    if (d - s - 1 <= 0) continue;  // Not enough history for this s.
+    double err = 0.0;
+    int count = 0;
+    for (int i = s; i + 1 < d; ++i) {
+      const double delta_est =
+          (loads[static_cast<size_t>(i)] - loads[static_cast<size_t>(i - s)]) /
+          static_cast<double>(s);
+      const double delta_obs = loads[static_cast<size_t>(i + 1)] -
+                               loads[static_cast<size_t>(i)];
+      err += std::abs(delta_obs - delta_est);
+      ++count;
+    }
+    errors[static_cast<size_t>(s - 1)] = err / static_cast<double>(count);
+  }
+  return errors;
+}
+
+int TuneSampleCount(const std::vector<double>& loads, int psi) {
+  const std::vector<double> errors = SamplingWhatIfErrors(loads, psi);
+  int best = 1;
+  for (int s = 2; s <= psi; ++s) {
+    if (errors[static_cast<size_t>(s - 1)] <
+        errors[static_cast<size_t>(best - 1)]) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+double SamplePredictionError(const std::vector<double>& loads, int s) {
+  ARRAYDB_CHECK_GE(s, 1);
+  const int d = static_cast<int>(loads.size());
+  double err = 0.0;
+  int count = 0;
+  for (int i = s; i + 1 < d; ++i) {
+    const double delta_est =
+        (loads[static_cast<size_t>(i)] - loads[static_cast<size_t>(i - s)]) /
+        static_cast<double>(s);
+    const double delta_obs =
+        loads[static_cast<size_t>(i + 1)] - loads[static_cast<size_t>(i)];
+    err += std::abs(delta_obs - delta_est);
+    ++count;
+  }
+  if (count == 0) return std::numeric_limits<double>::infinity();
+  return err / static_cast<double>(count);
+}
+
+std::vector<ModeledCycle> ModelConfiguration(
+    int p, const ScaleOutCostModelParams& params) {
+  ARRAYDB_CHECK_GE(p, 0);
+  ARRAYDB_CHECK_GT(params.capacity_gb, 0.0);
+  ARRAYDB_CHECK_GE(params.n0, 1);
+  ARRAYDB_CHECK_GT(params.l0_gb, 0.0);
+
+  std::vector<ModeledCycle> cycles;
+  cycles.reserve(static_cast<size_t>(params.horizon_m));
+  int prev_nodes = params.n0;
+  for (int i = 1; i <= params.horizon_m; ++i) {
+    ModeledCycle c;
+    // Eq. 5: constant insert rate projected forward.
+    c.load_gb = params.l0_gb + params.mu_gb * static_cast<double>(i);
+
+    // Node count recurrence: hold while within capacity, otherwise
+    // provision for p cycles beyond i.
+    if (c.load_gb <= static_cast<double>(prev_nodes) * params.capacity_gb) {
+      c.nodes = prev_nodes;
+    } else {
+      c.nodes = static_cast<int>(
+          std::ceil((params.l0_gb + params.mu_gb * static_cast<double>(i + p)) /
+                    params.capacity_gb));
+    }
+
+    const double n = static_cast<double>(c.nodes);
+    // Eq. 6: the coordinator keeps 1/N of the batch locally at δ and ships
+    // the rest at t.
+    c.insert_minutes = params.mu_gb * (1.0 / n) * params.delta_io_min_per_gb +
+                       params.mu_gb * ((n - 1.0) / n) * params.t_net_min_per_gb;
+    // Eq. 7: rebalancing ships the new nodes' share of the average load.
+    c.reorg_minutes = (c.load_gb / n) *
+                      static_cast<double>(c.nodes - prev_nodes) *
+                      params.t_net_min_per_gb;
+    // Eq. 8: base workload scaled by load growth and parallelism.
+    c.query_minutes = params.w0_minutes * (c.load_gb / params.l0_gb) *
+                      (static_cast<double>(params.n0) / n);
+
+    cycles.push_back(c);
+    prev_nodes = c.nodes;
+  }
+  return cycles;
+}
+
+double EstimateConfigCostNodeHours(int p,
+                                   const ScaleOutCostModelParams& params) {
+  const auto cycles = ModelConfiguration(p, params);
+  double node_minutes = 0.0;
+  for (const auto& c : cycles) {
+    // Eq. 9: each cycle's duration weighted by its node count.
+    node_minutes += static_cast<double>(c.nodes) *
+                    (c.insert_minutes + c.reorg_minutes + c.query_minutes);
+  }
+  return node_minutes / 60.0;
+}
+
+int TunePlanAhead(const std::vector<int>& candidates,
+                  const ScaleOutCostModelParams& params) {
+  ARRAYDB_CHECK(!candidates.empty());
+  int best = candidates[0];
+  double best_cost = EstimateConfigCostNodeHours(best, params);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const double cost = EstimateConfigCostNodeHours(candidates[i], params);
+    if (cost < best_cost) {
+      best = candidates[i];
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace arraydb::core

@@ -1,0 +1,72 @@
+// Workload-specific tuning of the leading staircase (§5.2).
+//
+// Two parameters are fitted per workload:
+//   * s — how many history samples feed the derivative. Chosen by the
+//     what-if analysis of Algorithm 1: replay the observed demand curve,
+//     predict each next step with every candidate s, and keep the s with
+//     the lowest mean absolute prediction error.
+//   * p — how many future cycles each scale-out provisions. Chosen by an
+//     analytical cost model (Eqs. 5-9) that simulates m future cycles and
+//     prices each candidate configuration in node hours.
+
+#ifndef ARRAYDB_CORE_TUNING_H_
+#define ARRAYDB_CORE_TUNING_H_
+
+#include <vector>
+
+namespace arraydb::core {
+
+/// Algorithm 1: mean absolute demand-prediction error for each candidate
+/// sample count s = 1..psi, evaluated by sliding a window over `loads`
+/// (the per-cycle storage demand observed so far). Entry [s-1] holds the
+/// error for sample count s, in the same units as `loads` (GB).
+std::vector<double> SamplingWhatIfErrors(const std::vector<double>& loads,
+                                         int psi);
+
+/// Returns the s in [1, psi] minimizing the what-if error (Algorithm 1's
+/// final argmin). Ties break toward smaller s.
+int TuneSampleCount(const std::vector<double>& loads, int psi);
+
+/// Evaluates prediction error of a *fixed* s over a test demand curve:
+/// mean |Δ_est - Δ_observed| of one-step-ahead forecasts (used to produce
+/// the train/test split of Table 2).
+double SamplePredictionError(const std::vector<double>& loads, int s);
+
+/// Inputs of the Eq. 5-9 analytical scale-out cost model, all captured at
+/// tuning time (cycle d, when the cluster first reaches capacity).
+struct ScaleOutCostModelParams {
+  double l0_gb = 0.0;        // Present load l_0 (Eq. 5 intercept).
+  double mu_gb = 0.0;        // Insert rate per cycle (Eq. 5 slope).
+  double capacity_gb = 0.0;  // Per-node capacity c.
+  int n0 = 1;                // Present node count N_0.
+  double w0_minutes = 0.0;   // Last observed query-benchmark latency.
+  double delta_io_min_per_gb = 0.0;  // δ, derived empirically.
+  double t_net_min_per_gb = 0.0;     // t, derived empirically.
+  int horizon_m = 4;         // m cycles to simulate.
+};
+
+/// Per-cycle breakdown of the analytical simulation (for tests/diagnostics).
+struct ModeledCycle {
+  double load_gb = 0.0;      // l_i (Eq. 5)
+  int nodes = 0;             // N_{i,p}
+  double insert_minutes = 0.0;  // I_{i,p} (Eq. 6)
+  double reorg_minutes = 0.0;   // r_{i,p} (Eq. 7)
+  double query_minutes = 0.0;   // w_{i,p} (Eq. 8)
+};
+
+/// Simulates m cycles under plan-ahead p and returns the per-cycle model.
+std::vector<ModeledCycle> ModelConfiguration(
+    int p, const ScaleOutCostModelParams& params);
+
+/// Eq. 9: total modeled cost of configuration p, in node hours.
+double EstimateConfigCostNodeHours(int p,
+                                   const ScaleOutCostModelParams& params);
+
+/// Returns the candidate p with the lowest modeled cost (ties toward the
+/// smaller p).
+int TunePlanAhead(const std::vector<int>& candidates,
+                  const ScaleOutCostModelParams& params);
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_TUNING_H_

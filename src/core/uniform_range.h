@@ -1,0 +1,56 @@
+// Uniform Range partitioner (§4.2): global n-dimensional range
+// partitioning for unskewed arrays.
+//
+// A tall, balanced binary space partition of height h describes the array's
+// dimension space: level i halves the region along dimension (i mod d),
+// yielding l = 2^h equal leaf regions, with l much larger than any
+// anticipated cluster. The l leaves, in tree traversal order, are assigned
+// to the n hosts in contiguous blocks of l/n — preserving multidimensional
+// clustering with near-perfect leaf balance. Every scale-out recomputes the
+// l/n blocks, a global reorganization (not incremental, not skew-aware).
+
+#ifndef ARRAYDB_CORE_UNIFORM_RANGE_H_
+#define ARRAYDB_CORE_UNIFORM_RANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "core/spatial.h"
+
+namespace arraydb::core {
+
+class UniformRangePartitioner final : public Partitioner {
+ public:
+  /// Builds the balanced BSP over the schema's chunk grid. The tree height
+  /// is the number of bits needed to index the padded grid, so leaves are
+  /// individual chunk-grid slots. `growth_dim` names the unbounded (time)
+  /// dimension excluded from the tree; SpatialProjection::kNone uses all.
+  UniformRangePartitioner(const array::ArraySchema& schema, int initial_nodes,
+                          int growth_dim = SpatialProjection::kNone);
+
+  const char* name() const override { return "Uniform Range"; }
+  uint32_t features() const override { return kNDimensionalClustering; }
+
+  NodeId PlaceChunk(const cluster::Cluster& cluster,
+                    const array::ChunkInfo& chunk) override;
+  cluster::MovePlan PlanScaleOut(const cluster::Cluster& cluster,
+                                 int old_node_count) override;
+  NodeId Locate(const array::Coordinates& chunk_coords) const override;
+
+  /// Leaf index of a chunk in tree-traversal order (for tests).
+  uint64_t LeafOf(const array::Coordinates& chunk_coords) const;
+
+  uint64_t num_leaves() const { return num_leaves_; }
+
+ private:
+  SpatialProjection projection_;
+  std::vector<int> bits_per_dim_;
+  int height_ = 0;          // h: total tree height.
+  uint64_t num_leaves_ = 1;  // l = 2^h.
+  int num_nodes_;
+};
+
+}  // namespace arraydb::core
+
+#endif  // ARRAYDB_CORE_UNIFORM_RANGE_H_

@@ -1,0 +1,365 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace arraydb::exec {
+
+bool CellBox::Contains(const array::Coordinates& pos) const {
+  ARRAYDB_CHECK_EQ(pos.size(), lo.size());
+  for (size_t d = 0; d < lo.size(); ++d) {
+    if (pos[d] < lo[d] || pos[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+std::vector<const array::Cell*> FilterBox(const array::Array& array,
+                                          const CellBox& box) {
+  std::vector<const array::Cell*> out;
+  for (const auto& [coords, chunk] : array.chunks()) {
+    // Chunk pruning: skip chunks whose cell range cannot intersect the box.
+    bool overlaps = true;
+    for (int d = 0; d < array.schema().num_dims(); ++d) {
+      const auto& dim = array.schema().dims()[static_cast<size_t>(d)];
+      const int64_t chunk_lo = dim.ChunkLow(coords[static_cast<size_t>(d)]);
+      const int64_t chunk_hi = chunk_lo + dim.chunk_interval - 1;
+      if (chunk_hi < box.lo[static_cast<size_t>(d)] ||
+          chunk_lo > box.hi[static_cast<size_t>(d)]) {
+        overlaps = false;
+        break;
+      }
+    }
+    if (!overlaps) continue;
+    for (const auto& cell : chunk.cells()) {
+      if (box.Contains(cell.pos)) out.push_back(&cell);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const array::Cell* a, const array::Cell* b) {
+              return array::CoordinatesLess(a->pos, b->pos);
+            });
+  return out;
+}
+
+util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,
+                                    double q) {
+  if (attr < 0 || attr >= array.schema().num_attrs()) {
+    return util::InvalidArgument("attribute index out of range");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return util::InvalidArgument("quantile must be in [0,1]");
+  }
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(array.total_cells()));
+  for (const auto& [coords, chunk] : array.chunks()) {
+    for (const auto& cell : chunk.cells()) {
+      values.push_back(cell.values[static_cast<size_t>(attr)]);
+    }
+  }
+  if (values.empty()) return util::FailedPrecondition("array is empty");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+int64_t DimJoinCount(const array::Array& a, const array::Array& b) {
+  // Probe the smaller side into the larger side's position table.
+  const array::Array& build = a.total_cells() <= b.total_cells() ? a : b;
+  const array::Array& probe = a.total_cells() <= b.total_cells() ? b : a;
+  std::unordered_map<array::Coordinates, int, array::CoordinatesHash>
+      positions;
+  for (const auto& [coords, chunk] : build.chunks()) {
+    for (const auto& cell : chunk.cells()) positions.emplace(cell.pos, 1);
+  }
+  int64_t matches = 0;
+  for (const auto& [coords, chunk] : probe.chunks()) {
+    for (const auto& cell : chunk.cells()) {
+      if (positions.contains(cell.pos)) ++matches;
+    }
+  }
+  return matches;
+}
+
+int64_t AttrJoinCount(const array::Array& array, int attr,
+                      const std::unordered_set<int64_t>& keys) {
+  ARRAYDB_CHECK_GE(attr, 0);
+  ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
+  int64_t matches = 0;
+  for (const auto& [coords, chunk] : array.chunks()) {
+    for (const auto& cell : chunk.cells()) {
+      const int64_t key =
+          static_cast<int64_t>(cell.values[static_cast<size_t>(attr)]);
+      if (keys.contains(key)) ++matches;
+    }
+  }
+  return matches;
+}
+
+std::map<array::Coordinates, double> GroupBySum(
+    const array::Array& array, const std::vector<int64_t>& bin, int attr) {
+  ARRAYDB_CHECK_EQ(bin.size(),
+                   static_cast<size_t>(array.schema().num_dims()));
+  ARRAYDB_CHECK_GE(attr, 0);
+  ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
+  std::map<array::Coordinates, double> groups;
+  for (const auto& [coords, chunk] : array.chunks()) {
+    for (const auto& cell : chunk.cells()) {
+      array::Coordinates key(cell.pos.size());
+      for (size_t d = 0; d < cell.pos.size(); ++d) {
+        ARRAYDB_CHECK_GT(bin[d], 0);
+        // Bin origin (floor division handles negative coordinates).
+        int64_t q = cell.pos[d] / bin[d];
+        if (cell.pos[d] % bin[d] != 0 && cell.pos[d] < 0) --q;
+        key[d] = q * bin[d];
+      }
+      groups[key] += cell.values[static_cast<size_t>(attr)];
+    }
+  }
+  return groups;
+}
+
+namespace {
+
+// Position -> attribute value index for window queries.
+std::unordered_map<array::Coordinates, double, array::CoordinatesHash>
+BuildValueIndex(const array::Array& array, int attr) {
+  std::unordered_map<array::Coordinates, double, array::CoordinatesHash> index;
+  for (const auto& [coords, chunk] : array.chunks()) {
+    for (const auto& cell : chunk.cells()) {
+      index.emplace(cell.pos, cell.values[static_cast<size_t>(attr)]);
+    }
+  }
+  return index;
+}
+
+// Average of occupied cells within Chebyshev `radius` of `pos`.
+double WindowAverageFromIndex(
+    const std::unordered_map<array::Coordinates, double,
+                             array::CoordinatesHash>& index,
+    const array::Coordinates& pos, int64_t radius) {
+  // Enumerate the window via an odd-base counter per dimension.
+  const size_t ndims = pos.size();
+  const int64_t span = 2 * radius + 1;
+  int64_t total = 1;
+  for (size_t d = 0; d < ndims; ++d) total *= span;
+  double sum = 0.0;
+  int64_t count = 0;
+  array::Coordinates probe(ndims);
+  for (int64_t code = 0; code < total; ++code) {
+    int64_t rest = code;
+    for (size_t d = 0; d < ndims; ++d) {
+      probe[d] = pos[d] + (rest % span) - radius;
+      rest /= span;
+    }
+    const auto it = index.find(probe);
+    if (it != index.end()) {
+      sum += it->second;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+util::StatusOr<double> WindowAverageAt(const array::Array& array, int attr,
+                                       const array::Coordinates& pos,
+                                       int64_t radius) {
+  if (attr < 0 || attr >= array.schema().num_attrs()) {
+    return util::InvalidArgument("attribute index out of range");
+  }
+  if (radius < 0) return util::InvalidArgument("negative radius");
+  const auto index = BuildValueIndex(array, attr);
+  return WindowAverageFromIndex(index, pos, radius);
+}
+
+std::vector<std::pair<array::Coordinates, double>> WindowAverageAll(
+    const array::Array& array, int attr, int64_t radius) {
+  ARRAYDB_CHECK_GE(attr, 0);
+  ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
+  ARRAYDB_CHECK_GE(radius, 0);
+  const auto index = BuildValueIndex(array, attr);
+  std::vector<std::pair<array::Coordinates, double>> out;
+  out.reserve(index.size());
+  for (const auto& [pos, value] : index) {
+    out.emplace_back(pos, WindowAverageFromIndex(index, pos, radius));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return array::CoordinatesLess(a.first, b.first);
+            });
+  return out;
+}
+
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    int max_iterations, uint64_t seed) {
+  KMeansResult result;
+  ARRAYDB_CHECK_GE(k, 1);
+  ARRAYDB_CHECK(!points.empty());
+  ARRAYDB_CHECK_LE(static_cast<size_t>(k), points.size());
+  const size_t dims = points[0].size();
+
+  // Deterministic init: k distinct points chosen by seeded reservoir.
+  util::Rng rng(seed);
+  result.centroids.clear();
+  std::vector<size_t> chosen;
+  while (result.centroids.size() < static_cast<size_t>(k)) {
+    const size_t idx = static_cast<size_t>(rng.NextBounded(points.size()));
+    if (std::find(chosen.begin(), chosen.end(), idx) != chosen.end()) {
+      continue;
+    }
+    chosen.push_back(idx);
+    result.centroids.push_back(points[idx]);
+  }
+
+  result.assignment.assign(points.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        double dist = 0.0;
+        for (size_t d = 0; d < dims; ++d) {
+          const double diff =
+              points[i][d] - result.centroids[static_cast<size_t>(c)][d];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(k), std::vector<double>(dims, 0.0));
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<size_t>(result.assignment[i]);
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
+      if (counts[c] == 0) continue;  // Empty cluster keeps its centroid.
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto c = static_cast<size_t>(result.assignment[i]);
+    for (size_t d = 0; d < dims; ++d) {
+      const double diff = points[i][d] - result.centroids[c][d];
+      result.inertia += diff * diff;
+    }
+  }
+  return result;
+}
+
+util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
+                                          int samples, uint64_t seed) {
+  if (k < 1) return util::InvalidArgument("k must be positive");
+  if (samples < 1) return util::InvalidArgument("samples must be positive");
+  const auto cells = array.AllCells();
+  if (static_cast<int>(cells.size()) <= k) {
+    return util::FailedPrecondition("not enough cells for kNN");
+  }
+  util::Rng rng(seed);
+  double total = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const size_t idx = static_cast<size_t>(rng.NextBounded(cells.size()));
+    const auto& origin = cells[idx]->pos;
+    // Brute-force distances to all other cells; keep the k smallest.
+    std::vector<double> dists;
+    dists.reserve(cells.size() - 1);
+    for (size_t j = 0; j < cells.size(); ++j) {
+      if (j == idx) continue;
+      double dist = 0.0;
+      for (size_t d = 0; d < origin.size(); ++d) {
+        const double diff =
+            static_cast<double>(cells[j]->pos[d] - origin[d]);
+        dist += diff * diff;
+      }
+      dists.push_back(std::sqrt(dist));
+    }
+    std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) sum += dists[static_cast<size_t>(i)];
+    // nth_element leaves the first k elements as the k smallest (unordered);
+    // their mean is the probe's kNN distance.
+    total += sum / static_cast<double>(k);
+  }
+  return total / static_cast<double>(samples);
+}
+
+util::StatusOr<array::Array> Regrid(const array::Array& array,
+                                    const std::vector<int64_t>& factors,
+                                    int attr) {
+  const auto& schema = array.schema();
+  if (factors.size() != static_cast<size_t>(schema.num_dims())) {
+    return util::InvalidArgument("factor rank mismatch");
+  }
+  if (attr < 0 || attr >= schema.num_attrs()) {
+    return util::InvalidArgument("attribute index out of range");
+  }
+  for (const int64_t f : factors) {
+    if (f <= 0) return util::InvalidArgument("non-positive regrid factor");
+  }
+  // Coarse schema: extents divided by the factors, one chunk per dim block.
+  std::vector<array::DimensionDesc> dims;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const auto& src = schema.dims()[static_cast<size_t>(d)];
+    array::DimensionDesc dim;
+    dim.name = src.name;
+    dim.lo = 0;
+    dim.hi = (src.Extent() + factors[static_cast<size_t>(d)] - 1) /
+                 factors[static_cast<size_t>(d)] -
+             1;
+    dim.chunk_interval = dim.hi - dim.lo + 1;
+    dims.push_back(dim);
+  }
+  array::Array coarse(array::ArraySchema(
+      schema.name() + "_regrid", dims,
+      {array::AttributeDesc{"sum", array::AttrType::kDouble},
+       array::AttributeDesc{"count", array::AttrType::kDouble}}));
+
+  // Accumulate, then materialize one cell per occupied coarse position.
+  std::map<array::Coordinates, std::pair<double, int64_t>> acc;
+  for (const auto& [coords, chunk] : array.chunks()) {
+    for (const auto& cell : chunk.cells()) {
+      array::Coordinates key(cell.pos.size());
+      for (size_t d = 0; d < cell.pos.size(); ++d) {
+        key[d] = (cell.pos[d] - schema.dims()[d].lo) / factors[d];
+      }
+      auto& slot = acc[key];
+      slot.first += cell.values[static_cast<size_t>(attr)];
+      slot.second += 1;
+    }
+  }
+  for (const auto& [key, slot] : acc) {
+    const auto status = coarse.InsertCell(
+        key, {slot.first, static_cast<double>(slot.second)});
+    ARRAYDB_CHECK(status.ok());
+  }
+  return coarse;
+}
+
+}  // namespace arraydb::exec

@@ -1,0 +1,86 @@
+// Reference implementations of the benchmark operators over materialized
+// arrays (§3.3). These execute the actual algorithms — filtering, quantile,
+// joins, group-by aggregation, windowed aggregates, k-means, kNN, regrid —
+// on in-memory cell data. Tests and examples verify real answers here;
+// exec::QueryEngine prices the same access patterns at paper scale.
+
+#ifndef ARRAYDB_EXEC_OPERATORS_H_
+#define ARRAYDB_EXEC_OPERATORS_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "array/array.h"
+#include "util/status.h"
+
+namespace arraydb::exec {
+
+/// Axis-aligned box in logical cell space, inclusive on both ends.
+struct CellBox {
+  array::Coordinates lo;
+  array::Coordinates hi;
+
+  bool Contains(const array::Coordinates& pos) const;
+};
+
+/// Selection: all cells inside `box`.
+std::vector<const array::Cell*> FilterBox(const array::Array& array,
+                                          const CellBox& box);
+
+/// Sort benchmark: the q-quantile (0 <= q <= 1) of attribute `attr` over
+/// all non-empty cells.
+util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,
+                                    double q);
+
+/// Join benchmark (MODIS): number of positions occupied in both arrays —
+/// the size of the position join used for the vegetation index.
+int64_t DimJoinCount(const array::Array& a, const array::Array& b);
+
+/// Join benchmark (AIS): cells of `array` whose attribute `attr` value
+/// (truncated to integer, e.g. ship_id) appears in `keys` — a hash join
+/// against the replicated vessel array.
+int64_t AttrJoinCount(const array::Array& array, int attr,
+                      const std::unordered_set<int64_t>& keys);
+
+/// Statistics benchmark: sums attribute `attr` grouped by coarse bins of
+/// size `bin[d]` cells along each dimension. Returns bin-origin -> sum.
+std::map<array::Coordinates, double> GroupBySum(
+    const array::Array& array, const std::vector<int64_t>& bin, int attr);
+
+/// Complex projection benchmark: windowed average of `attr` in a Chebyshev
+/// radius around `pos` (partially overlapping windows yield smooth images).
+util::StatusOr<double> WindowAverageAt(const array::Array& array, int attr,
+                                       const array::Coordinates& pos,
+                                       int64_t radius);
+
+/// Windowed average at every occupied cell; sorted by position.
+std::vector<std::pair<array::Coordinates, double>> WindowAverageAll(
+    const array::Array& array, int attr, int64_t radius);
+
+/// Modeling benchmark (MODIS): Lloyd's k-means over arbitrary points.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;
+  std::vector<int> assignment;  // Cluster index per input point.
+  int iterations = 0;
+  double inertia = 0.0;  // Sum of squared distances to assigned centroid.
+};
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    int max_iterations, uint64_t seed);
+
+/// Modeling benchmark (AIS): average Euclidean distance (in cell space) to
+/// the k nearest other cells, over `samples` cells drawn uniformly.
+util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
+                                          int samples, uint64_t seed);
+
+/// Regridding: coarsens the array by integer `factors` per dimension,
+/// producing an array with attributes (sum of `attr`, cell count).
+util::StatusOr<array::Array> Regrid(const array::Array& array,
+                                    const std::vector<int64_t>& factors,
+                                    int attr);
+
+}  // namespace arraydb::exec
+
+#endif  // ARRAYDB_EXEC_OPERATORS_H_

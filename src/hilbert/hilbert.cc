@@ -1,0 +1,141 @@
+#include "hilbert/hilbert.h"
+
+#include "util/logging.h"
+
+namespace arraydb::hilbert {
+namespace {
+
+// All helpers operate on n-bit words stored in uint64_t.
+
+inline uint64_t MaskN(int n) {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+// Rotates the low n bits of x right by r.
+inline uint64_t RotRight(uint64_t x, int r, int n) {
+  r %= n;
+  if (r == 0) return x & MaskN(n);
+  x &= MaskN(n);
+  return ((x >> r) | (x << (n - r))) & MaskN(n);
+}
+
+// Rotates the low n bits of x left by r.
+inline uint64_t RotLeft(uint64_t x, int r, int n) {
+  r %= n;
+  if (r == 0) return x & MaskN(n);
+  x &= MaskN(n);
+  return ((x << r) | (x >> (n - r))) & MaskN(n);
+}
+
+// Binary reflected Gray code.
+inline uint64_t Gray(uint64_t i) { return i ^ (i >> 1); }
+
+// Inverse Gray code.
+inline uint64_t GrayInverse(uint64_t g) {
+  uint64_t i = g;
+  for (int shift = 1; shift < 64; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+// Number of trailing set (one) bits.
+inline int TrailingSetBits(uint64_t i) {
+  int count = 0;
+  while (i & 1) {
+    ++count;
+    i >>= 1;
+  }
+  return count;
+}
+
+// Entry point e(i) of the Hilbert curve in sub-hypercube i (Hamilton Lemma
+// 2.8): e(0) = 0, e(i) = gray(2 * floor((i-1)/2)).
+inline uint64_t EntryPoint(uint64_t i) {
+  if (i == 0) return 0;
+  return Gray(2 * ((i - 1) / 2));
+}
+
+// Intra sub-hypercube direction d(i) (Hamilton Lemma 2.11).
+inline int Direction(uint64_t i, int n) {
+  if (i == 0) return 0;
+  if ((i & 1) == 0) return TrailingSetBits(i - 1) % n;
+  return TrailingSetBits(i) % n;
+}
+
+}  // namespace
+
+uint64_t HilbertIndex(const std::vector<uint32_t>& point, int bits) {
+  const int n = static_cast<int>(point.size());
+  ARRAYDB_CHECK_GE(n, 1);
+  ARRAYDB_CHECK_GE(bits, 1);
+  ARRAYDB_CHECK_LE(n * bits, 64);
+
+  uint64_t h = 0;
+  uint64_t e = 0;
+  int d = 0;
+  for (int i = bits - 1; i >= 0; --i) {
+    // Gather bit i of every coordinate: bit j of l is bit i of point[j].
+    uint64_t l = 0;
+    for (int j = 0; j < n; ++j) {
+      l |= static_cast<uint64_t>((point[static_cast<size_t>(j)] >> i) & 1u)
+           << j;
+    }
+    // Transform into the local frame of the current sub-hypercube.
+    l = RotRight(l ^ e, d + 1, n);
+    const uint64_t w = GrayInverse(l);
+    // Update the frame for the next (finer) level.
+    e = e ^ RotLeft(EntryPoint(w), d + 1, n);
+    d = (d + Direction(w, n) + 1) % n;
+    h = (h << n) | w;
+  }
+  return h;
+}
+
+std::vector<uint32_t> HilbertPoint(uint64_t index, int num_dims, int bits) {
+  const int n = num_dims;
+  ARRAYDB_CHECK_GE(n, 1);
+  ARRAYDB_CHECK_GE(bits, 1);
+  ARRAYDB_CHECK_LE(n * bits, 64);
+
+  std::vector<uint32_t> point(static_cast<size_t>(n), 0);
+  uint64_t e = 0;
+  int d = 0;
+  for (int i = bits - 1; i >= 0; --i) {
+    const uint64_t w = (index >> (i * n)) & MaskN(n);
+    uint64_t l = Gray(w);
+    // Transform out of the local frame (inverse of the forward transform).
+    l = RotLeft(l, d + 1, n) ^ e;
+    for (int j = 0; j < n; ++j) {
+      point[static_cast<size_t>(j)] |= static_cast<uint32_t>((l >> j) & 1)
+                                       << i;
+    }
+    e = e ^ RotLeft(EntryPoint(w), d + 1, n);
+    d = (d + Direction(w, n) + 1) % n;
+  }
+  return point;
+}
+
+int BitsForExtents(const array::Coordinates& extents) {
+  int64_t max_extent = 1;
+  for (int64_t e : extents) {
+    ARRAYDB_CHECK_GT(e, 0);
+    if (e > max_extent) max_extent = e;
+  }
+  int bits = 1;
+  while ((1LL << bits) < max_extent) ++bits;
+  return bits;
+}
+
+uint64_t HilbertRank(const array::Coordinates& coords,
+                     const array::Coordinates& extents) {
+  ARRAYDB_CHECK_EQ(coords.size(), extents.size());
+  const int bits = BitsForExtents(extents);
+  std::vector<uint32_t> point(coords.size());
+  for (size_t i = 0; i < coords.size(); ++i) {
+    ARRAYDB_CHECK_GE(coords[i], 0);
+    ARRAYDB_CHECK_LT(coords[i], extents[i]);
+    point[i] = static_cast<uint32_t>(coords[i]);
+  }
+  return HilbertIndex(point, bits);
+}
+
+}  // namespace arraydb::hilbert

@@ -1,0 +1,44 @@
+// n-dimensional Hilbert space-filling curve.
+//
+// Implements the Butz/Hamilton bit-manipulation algorithm ("Compact Hilbert
+// Indices", Hamilton CS-2006-07) for arbitrary dimensionality, with both the
+// forward map (point -> index) and its inverse. The curve serializes the
+// chunk grid such that successive indices are face-adjacent cells, which the
+// Hilbert partitioner (§4.2) uses to keep spatially close chunks on the same
+// node.
+//
+// For non-square ("rectangular") grids, HilbertRank embeds the grid in the
+// smallest enclosing hypercube and orders cells by the restriction of the
+// cube's curve to the grid — the ordering-equivalent of the pseudo-Hilbert
+// scan for arbitrarily-sized rectangles cited by the paper [32]: it is a
+// total order over the rectangle preserving the curve's locality.
+
+#ifndef ARRAYDB_HILBERT_HILBERT_H_
+#define ARRAYDB_HILBERT_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "array/coordinates.h"
+
+namespace arraydb::hilbert {
+
+/// Maps a point in the n-D hypercube [0, 2^bits)^n to its Hilbert index in
+/// [0, 2^(n*bits)). Requires n * bits <= 64 and n >= 1.
+uint64_t HilbertIndex(const std::vector<uint32_t>& point, int bits);
+
+/// Inverse of HilbertIndex.
+std::vector<uint32_t> HilbertPoint(uint64_t index, int num_dims, int bits);
+
+/// Number of bits needed so a hypercube of side 2^bits covers `extents`.
+int BitsForExtents(const array::Coordinates& extents);
+
+/// Total order over a rectangular grid with per-dimension `extents`:
+/// the Hilbert index of `coords` within the smallest enclosing hypercube.
+/// Coordinates must satisfy 0 <= coords[i] < extents[i].
+uint64_t HilbertRank(const array::Coordinates& coords,
+                     const array::Coordinates& extents);
+
+}  // namespace arraydb::hilbert
+
+#endif  // ARRAYDB_HILBERT_HILBERT_H_

@@ -1,0 +1,51 @@
+// Lightweight assertion and logging macros.
+//
+// Programming errors (violated preconditions, broken invariants) abort the
+// process via CHECK; recoverable conditions are reported through
+// util::Status instead (see util/status.h).
+
+#ifndef ARRAYDB_UTIL_LOGGING_H_
+#define ARRAYDB_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace arraydb::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace arraydb::util
+
+// Aborts if `expr` is false. Enabled in all build types: the simulation is
+// deterministic, so a violated invariant is always a bug worth a loud stop.
+#define ARRAYDB_CHECK(expr)                                     \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::arraydb::util::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                           \
+  } while (false)
+
+// Convenience comparison checks. These deliberately evaluate their arguments
+// exactly once.
+#define ARRAYDB_CHECK_OP(a, op, b)                                   \
+  do {                                                               \
+    const auto& va_ = (a);                                           \
+    const auto& vb_ = (b);                                           \
+    if (!(va_ op vb_)) {                                             \
+      ::arraydb::util::CheckFailed(__FILE__, __LINE__,               \
+                                   #a " " #op " " #b);               \
+    }                                                                \
+  } while (false)
+
+#define ARRAYDB_CHECK_EQ(a, b) ARRAYDB_CHECK_OP(a, ==, b)
+#define ARRAYDB_CHECK_NE(a, b) ARRAYDB_CHECK_OP(a, !=, b)
+#define ARRAYDB_CHECK_LT(a, b) ARRAYDB_CHECK_OP(a, <, b)
+#define ARRAYDB_CHECK_LE(a, b) ARRAYDB_CHECK_OP(a, <=, b)
+#define ARRAYDB_CHECK_GT(a, b) ARRAYDB_CHECK_OP(a, >, b)
+#define ARRAYDB_CHECK_GE(a, b) ARRAYDB_CHECK_OP(a, >=, b)
+
+#endif  // ARRAYDB_UTIL_LOGGING_H_

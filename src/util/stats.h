@@ -1,0 +1,54 @@
+// Summary statistics used throughout the evaluation: mean, standard
+// deviation, relative standard deviation (the paper's load-balance metric),
+// medians and quantiles.
+
+#ifndef ARRAYDB_UTIL_STATS_H_
+#define ARRAYDB_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace arraydb::util {
+
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation (the paper reports RSD over node loads,
+/// which is a complete population, not a sample).
+double Stdev(const std::vector<double>& xs);
+
+/// Relative standard deviation: stdev / mean. Returns 0 for empty input or
+/// zero mean. The paper reports this as a percentage; callers multiply.
+double RelativeStdev(const std::vector<double>& xs);
+
+/// Median (averages the middle pair for even sizes). Copies the input.
+double Median(std::vector<double> xs);
+
+/// Quantile q in [0,1] with linear interpolation. Copies the input.
+double Quantile(std::vector<double> xs, double q);
+
+/// Sum of elements.
+double Sum(const std::vector<double>& xs);
+
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Streaming accumulator for mean/stdev without storing samples
+/// (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance.
+  double variance() const { return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stdev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace arraydb::util
+
+#endif  // ARRAYDB_UTIL_STATS_H_

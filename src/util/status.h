@@ -1,0 +1,102 @@
+// Minimal Status / StatusOr error-propagation types.
+//
+// The library does not throw exceptions across its public API (Google C++
+// style). Fallible operations return Status or StatusOr<T>.
+
+#ifndef ARRAYDB_UTIL_STATUS_H_
+#define ARRAYDB_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace arraydb::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a free-form message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "CODE: message" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status OutOfRange(std::string message);
+Status Internal(std::string message);
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /*implicit*/ StatusOr(T value) : value_(std::move(value)) {}
+  /*implicit*/ StatusOr(Status status) : status_(std::move(status)) {
+    ARRAYDB_CHECK(!status_.ok());  // OK status must carry a value.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ARRAYDB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    ARRAYDB_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    ARRAYDB_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace arraydb::util
+
+#endif  // ARRAYDB_UTIL_STATUS_H_

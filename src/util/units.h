@@ -1,0 +1,24 @@
+// Size and time unit constants. The simulation's canonical units are
+// bytes for storage and minutes for elapsed time (matching the paper's
+// figures, which report elapsed minutes and GB).
+
+#ifndef ARRAYDB_UTIL_UNITS_H_
+#define ARRAYDB_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace arraydb::util {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+/// Converts bytes to GiB (the paper's "GB").
+inline constexpr double BytesToGb(double bytes) { return bytes / kGiB; }
+inline constexpr double GbToBytes(double gb) { return gb * kGiB; }
+
+inline constexpr double kMinutesPerHour = 60.0;
+
+}  // namespace arraydb::util
+
+#endif  // ARRAYDB_UTIL_UNITS_H_

@@ -1,0 +1,264 @@
+#include "workload/ais.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace arraydb::workload {
+namespace {
+
+using array::AttrType;
+using array::AttributeDesc;
+using array::DimensionDesc;
+
+// Broadcast<speed:int, course:int, heading:int, ROT:int, status:int,
+//           voyageId:int, ship_id:int, receiverType:char,
+//           receiverId:string, provenance:string>
+//          [time=0:months-1,1, longitude=-180:-67,4, latitude=0:90,4]
+// Time is indexed in months (the paper chunks minute-resolution time into
+// 30-day intervals; a month index is the same chunk grid).
+array::ArraySchema MakeSchema(int months) {
+  return array::ArraySchema(
+      "Broadcast",
+      {DimensionDesc{"time", 0, months - 1, 1, false},
+       DimensionDesc{"longitude", -180, -67, 4, false},
+       DimensionDesc{"latitude", 0, 90, 4, false}},
+      {AttributeDesc{"speed", AttrType::kInt32},
+       AttributeDesc{"course", AttrType::kInt32},
+       AttributeDesc{"heading", AttrType::kInt32},
+       AttributeDesc{"ROT", AttrType::kInt32},
+       AttributeDesc{"status", AttrType::kInt32},
+       AttributeDesc{"voyageId", AttrType::kInt32},
+       AttributeDesc{"ship_id", AttrType::kInt32},
+       AttributeDesc{"receiverType", AttrType::kChar},
+       AttributeDesc{"receiverId", AttrType::kString},
+       AttributeDesc{"provenance", AttrType::kString}});
+}
+
+// Major US ports (longitude, latitude): where AIS traffic congregates.
+struct Port {
+  double lon;
+  double lat;
+  double strength;
+};
+constexpr Port kPorts[] = {
+    {-95.0, 29.5, 1.00},   // Houston (the paper's selection target).
+    {-90.1, 29.9, 0.85},   // New Orleans / lower Mississippi.
+    {-74.0, 40.6, 0.90},   // New York / New Jersey.
+    {-118.2, 33.7, 0.95},  // Los Angeles / Long Beach.
+    {-122.3, 47.6, 0.60},  // Seattle / Tacoma.
+    {-80.1, 25.8, 0.70},   // Miami.
+    {-122.4, 37.8, 0.65},  // San Francisco / Oakland.
+    {-76.3, 36.9, 0.60},   // Norfolk / Hampton Roads.
+    {-81.1, 32.1, 0.55},   // Savannah.
+    {-71.0, 42.3, 0.40},   // Boston.
+    {-88.0, 30.7, 0.35},   // Mobile.
+    {-97.4, 27.8, 0.45},   // Corpus Christi.
+};
+
+}  // namespace
+
+double AisWorkload::CellScore(int64_t lon_chunk, int64_t lat_chunk) const {
+  // Cell center in degrees.
+  const double lon = -180.0 + (static_cast<double>(lon_chunk) + 0.5) * 4.0;
+  const double lat = (static_cast<double>(lat_chunk) + 0.5) * 4.0;
+  double score = 0.0;
+  for (const auto& port : kPorts) {
+    const double dx = (lon - port.lon) / 4.0;  // Distance in chunk units.
+    const double dy = (lat - port.lat) / 4.0;
+    const double d2 = dx * dx + dy * dy;
+    score += port.strength * std::exp(-d2 / 2.0);  // Gaussian falloff.
+  }
+  return score;
+}
+
+AisWorkload::AisWorkload(AisConfig config)
+    : config_(config), schema_(MakeSchema(config.months)) {
+  ARRAYDB_CHECK(schema_.Validate().ok());
+  ARRAYDB_CHECK_EQ(config_.months % config_.months_per_cycle, 0);
+
+  // Rank spatial cells by port proximity.
+  const auto extents = schema_.ChunkGridExtents();
+  struct Scored {
+    int64_t lon;
+    int64_t lat;
+    double score;
+  };
+  std::vector<Scored> scored;
+  for (int64_t lon = 0; lon < extents[1]; ++lon) {
+    for (int64_t lat = 0; lat < extents[2]; ++lat) {
+      scored.push_back({lon, lat, CellScore(lon, lat)});
+    }
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.lon != b.lon) return a.lon < b.lon;
+    return a.lat < b.lat;
+  });
+  cells_by_heat_.reserve(scored.size());
+  for (const auto& s : scored) cells_by_heat_.emplace_back(s.lon, s.lat);
+
+  // Zipf share per hot rank.
+  const int hot = std::min<int>(config_.hot_cells,
+                                static_cast<int>(cells_by_heat_.size()));
+  hot_share_.resize(static_cast<size_t>(hot));
+  double norm = 0.0;
+  for (int r = 0; r < hot; ++r) {
+    hot_share_[static_cast<size_t>(r)] =
+        1.0 / std::pow(static_cast<double>(r + 1), config_.zipf_alpha);
+    norm += hot_share_[static_cast<size_t>(r)];
+  }
+  for (auto& s : hot_share_) s /= norm;
+}
+
+std::vector<array::ChunkInfo> AisWorkload::GenerateBatch(int cycle) const {
+  ARRAYDB_CHECK_GE(cycle, 0);
+  ARRAYDB_CHECK_LT(cycle, num_cycles());
+  const int64_t bytes_per_cell = schema_.BytesPerCell();
+  std::vector<array::ChunkInfo> batch;
+
+  for (int m = 0; m < config_.months_per_cycle; ++m) {
+    const int month = cycle * config_.months_per_cycle + m;
+    util::Rng month_rng(util::HashCombine(config_.seed,
+                                          static_cast<uint64_t>(month)));
+    // Seasonal volume: peaks toward the holidays (month 10-11 of the year).
+    const double season = std::sin(
+        2.0 * M_PI * (static_cast<double>(month % 12) - 7.5) / 12.0);
+    const double month_gb =
+        config_.gb_per_month *
+        (1.0 + config_.seasonal_amplitude * season) *
+        (1.0 + config_.monthly_noise * month_rng.NextGaussian());
+
+    // Background mass: every cell logs at least a few broadcasts. With a
+    // ~1 KB median the background is negligible volume but dominates count.
+    const double small_gb =
+        util::BytesToGb(static_cast<double>(cells_by_heat_.size()) * 1000.0);
+    const double hot_gb = std::max(month_gb - small_gb, 0.0);
+
+    for (size_t rank = 0; rank < cells_by_heat_.size(); ++rank) {
+      const auto [lon, lat] = cells_by_heat_[rank];
+      uint64_t h = util::HashCombine(config_.seed ^ 0x414953ULL,  // "AIS"
+                                     static_cast<uint64_t>(month));
+      h = util::HashCombine(h, static_cast<uint64_t>(lon));
+      h = util::HashCombine(h, static_cast<uint64_t>(lat));
+      util::Rng cell_rng(h);
+
+      double gb = 0.0;
+      if (rank < hot_share_.size()) {
+        gb = hot_gb * hot_share_[rank] *
+             (1.0 + 0.1 * cell_rng.NextGaussian());
+        if (gb < 0.0) gb = 0.0;
+      }
+      // Background broadcasts: 300-1700 bytes.
+      const int64_t background =
+          300 + static_cast<int64_t>(cell_rng.NextUniform(0.0, 1400.0));
+      array::ChunkInfo info;
+      info.coords = {month, lon, lat};
+      info.bytes = static_cast<int64_t>(util::GbToBytes(gb)) + background;
+      info.cell_count = info.bytes / bytes_per_cell;
+      if (info.cell_count == 0) info.cell_count = 1;
+      batch.push_back(std::move(info));
+    }
+  }
+  return batch;
+}
+
+std::vector<exec::QuerySpec> AisWorkload::SpjQueries(int cycle) const {
+  const auto extents = schema_.ChunkGridExtents();
+  const int64_t last_month =
+      static_cast<int64_t>(cycle + 1) * config_.months_per_cycle - 1;
+  const int64_t first_month = last_month - config_.months_per_cycle + 1;
+  std::vector<exec::QuerySpec> queries;
+
+  // Selection: the densely trafficked area around the port of Houston —
+  // tests the database's ability to cope with skew.
+  {
+    exec::QuerySpec q;
+    q.name = "ais-select-houston";
+    q.kind = exec::QueryKind::kFilter;
+    const int64_t lon = (-95 + 180) / 4;  // 21
+    const int64_t lat = 29 / 4;           // 7
+    q.region.lo = {first_month, lon - 1, lat - 1};
+    q.region.hi = {last_month, lon + 1, lat + 1};
+    q.cpu_min_per_gb = 0.02;
+    queries.push_back(std::move(q));
+  }
+  // Sort: sorted log of distinct ship identifiers. Like the rest of the
+  // benchmark it leans on recent data ("cooking" new measurements), so the
+  // log covers the last two quarters.
+  {
+    exec::QuerySpec q;
+    q.name = "ais-sort-distinct-ships";
+    q.kind = exec::QueryKind::kSortQuantile;
+    q.region.lo = {std::max<int64_t>(0, first_month - 4), 0, 0};
+    q.region.hi = {last_month, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.04;
+    q.selectivity = 0.02;
+    queries.push_back(std::move(q));
+  }
+  // Join: recent ship ids joined with the replicated Vessel array (25 MB).
+  {
+    exec::QuerySpec q;
+    q.name = "ais-join-vessel";
+    q.kind = exec::QueryKind::kAttrJoin;
+    q.region.lo = {first_month, 0, 0};
+    q.region.hi = {last_month, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.05;
+    q.small_side_gb = 0.024;  // The 25 MB vessel array.
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<exec::QuerySpec> AisWorkload::ScienceQueries(int cycle) const {
+  const auto extents = schema_.ChunkGridExtents();
+  const int64_t last_month =
+      static_cast<int64_t>(cycle + 1) * config_.months_per_cycle - 1;
+  const int64_t first_month = last_month - config_.months_per_cycle + 1;
+  std::vector<exec::QuerySpec> queries;
+
+  // Statistics: coarse-grained map of track counts where ships are in
+  // motion (coastline-erosion modeling) — group-by over dimension space.
+  {
+    exec::QuerySpec q;
+    q.name = "ais-stats-track-density";
+    q.kind = exec::QueryKind::kGroupBy;
+    q.region.lo = {first_month, 0, 0};
+    q.region.hi = {last_month, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.20;
+    queries.push_back(std::move(q));
+  }
+  // Modeling: k-nearest-neighbors for a uniform random sample of ships —
+  // profits from preserving the spatial arrangement (Figure 7).
+  {
+    exec::QuerySpec q;
+    q.name = kKnnQueryName;
+    q.kind = exec::QueryKind::kKnn;
+    q.region.lo = {0, 0, 0};
+    q.region.hi = {last_month, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.10;
+    q.knn_samples = 256;
+    q.halo_fraction = 0.3;  // Overlap slab of the neighbor chunk.
+    q.seed = 0x6b6e6eULL + static_cast<uint64_t>(cycle);
+    queries.push_back(std::move(q));
+  }
+  // Complex projection: predict vessel collisions by extrapolating each
+  // ship's trajectory a few minutes ahead — windowed neighborhood access
+  // over the most recent month.
+  {
+    exec::QuerySpec q;
+    q.name = "ais-window-collision";
+    q.kind = exec::QueryKind::kWindow;
+    q.region.lo = {last_month, 0, 0};
+    q.region.hi = {last_month, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.30;
+    q.halo_fraction = 0.3;  // Overlap slab of the neighbor chunk.
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace arraydb::workload

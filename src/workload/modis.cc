@@ -1,0 +1,191 @@
+#include "workload/modis.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace arraydb::workload {
+namespace {
+
+using array::AttrType;
+using array::AttributeDesc;
+using array::DimensionDesc;
+
+// Band<si_value:int, radiance:double, reflectance:double,
+//      uncertainty_idx:int, uncertainty_pct:float, platform_id:int,
+//      resolution_id:int>[time=0:days-1,1, longitude=-180:179,12,
+//                         latitude=-90:89,12]
+// Time is indexed in days (the paper chunks its minute-resolution time
+// dimension into one-day intervals; a day index is the same chunk grid).
+array::ArraySchema MakeSchema(int days) {
+  return array::ArraySchema(
+      "Band",
+      {DimensionDesc{"time", 0, days - 1, 1, false},
+       DimensionDesc{"longitude", -180, 179, 12, false},
+       DimensionDesc{"latitude", -90, 89, 12, false}},
+      {AttributeDesc{"si_value", AttrType::kInt32},
+       AttributeDesc{"radiance", AttrType::kDouble},
+       AttributeDesc{"reflectance", AttrType::kDouble},
+       AttributeDesc{"uncertainty_idx", AttrType::kInt32},
+       AttributeDesc{"uncertainty_pct", AttrType::kFloat},
+       AttributeDesc{"platform_id", AttrType::kInt32},
+       AttributeDesc{"resolution_id", AttrType::kInt32}});
+}
+
+}  // namespace
+
+ModisWorkload::ModisWorkload(ModisConfig config)
+    : config_(config), schema_(MakeSchema(config.days)) {
+  ARRAYDB_CHECK_GE(config_.days, 1);
+  ARRAYDB_CHECK(schema_.Validate().ok());
+}
+
+std::vector<array::ChunkInfo> ModisWorkload::GenerateBatch(int cycle) const {
+  ARRAYDB_CHECK_GE(cycle, 0);
+  ARRAYDB_CHECK_LT(cycle, config_.days);
+  const auto extents = schema_.ChunkGridExtents();
+  const int64_t lon_chunks = extents[1];
+  const int64_t lat_chunks = extents[2];
+
+  // Daily volume: base rate with a gentle trend and small noise — the
+  // steady demand curve of a satellite that images the whole earth daily.
+  util::Rng day_rng(util::HashCombine(config_.seed,
+                                      static_cast<uint64_t>(cycle)));
+  const double day_gb =
+      config_.gb_per_day *
+      (1.0 + config_.daily_trend * static_cast<double>(cycle)) *
+      (1.0 + config_.daily_noise * day_rng.NextGaussian());
+
+  // Draw a lognormal weight per spatial chunk, then normalize so the day
+  // sums to day_gb. Weights are keyed on coordinates so placement is
+  // independent of iteration order.
+  std::vector<array::ChunkInfo> batch;
+  batch.reserve(static_cast<size_t>(lon_chunks * lat_chunks));
+  std::vector<double> weights;
+  weights.reserve(batch.capacity());
+  double weight_sum = 0.0;
+  for (int64_t lon = 0; lon < lon_chunks; ++lon) {
+    for (int64_t lat = 0; lat < lat_chunks; ++lat) {
+      uint64_t h = util::HashCombine(config_.seed ^ 0x4d4f444953ULL,  // "MODIS"
+                                     static_cast<uint64_t>(cycle));
+      h = util::HashCombine(h, static_cast<uint64_t>(lon));
+      h = util::HashCombine(h, static_cast<uint64_t>(lat));
+      util::Rng rng(h);
+      const double w = rng.NextLogNormal(0.0, config_.size_sigma);
+      weights.push_back(w);
+      weight_sum += w;
+      array::ChunkInfo info;
+      info.coords = {cycle, lon, lat};
+      batch.push_back(std::move(info));
+    }
+  }
+  const int64_t bytes_per_cell = schema_.BytesPerCell();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const double gb = day_gb * weights[i] / weight_sum;
+    batch[i].bytes = static_cast<int64_t>(util::GbToBytes(gb));
+    batch[i].cell_count = batch[i].bytes / bytes_per_cell;
+  }
+  return batch;
+}
+
+std::vector<exec::QuerySpec> ModisWorkload::SpjQueries(int cycle) const {
+  const auto extents = schema_.ChunkGridExtents();
+  std::vector<exec::QuerySpec> queries;
+
+  // Selection: 1/16th of lat/long space at the lower-left corner of Band 1
+  // — a highly parallelizable scan.
+  {
+    exec::QuerySpec q;
+    q.name = "modis-select-corner";
+    q.kind = exec::QueryKind::kFilter;
+    q.region.lo = {0, 0, 0};
+    q.region.hi = {cycle, extents[1] / 4 - 1, extents[2] / 4 - 1};
+    q.cpu_min_per_gb = 0.02;
+    q.selectivity = 1.0;
+    queries.push_back(std::move(q));
+  }
+  // Sort: quantile of Band 1 radiance from a uniform random sample — a
+  // parallelized sort with non-trivial aggregation.
+  {
+    exec::QuerySpec q;
+    q.name = "modis-sort-radiance-quantile";
+    q.kind = exec::QueryKind::kSortQuantile;
+    q.region.lo = {0, 0, 0};
+    q.region.hi = {cycle, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.04;
+    q.selectivity = 0.01;  // 1% sample shipped to the coordinator.
+    queries.push_back(std::move(q));
+  }
+  // Join: vegetation index over the most recent day of data — Band 1 x
+  // Band 2 position join (Figure 6).
+  {
+    exec::QuerySpec q;
+    q.name = kJoinQueryName;
+    q.kind = exec::QueryKind::kDimJoin;
+    q.region.lo = {cycle, 0, 0};
+    q.region.hi = {cycle, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.06;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<exec::QuerySpec> ModisWorkload::ScienceQueries(int cycle) const {
+  const auto extents = schema_.ChunkGridExtents();
+  std::vector<exec::QuerySpec> queries;
+  const int64_t first_day = std::max<int64_t>(0, cycle - 2);
+
+  // Statistics: rolling average of light levels at the polar ice caps over
+  // the past several days (group-by aggregation over dimension space).
+  {
+    exec::QuerySpec q;
+    q.name = "modis-stats-north-pole";
+    q.kind = exec::QueryKind::kGroupBy;
+    q.region.lo = {first_day, 0, extents[2] - 2};
+    q.region.hi = {cycle, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.10;
+    queries.push_back(std::move(q));
+  }
+  {
+    exec::QuerySpec q;
+    q.name = "modis-stats-south-pole";
+    q.kind = exec::QueryKind::kGroupBy;
+    q.region.lo = {first_day, 0, 0};
+    q.region.hi = {cycle, extents[1] - 1, 1};
+    q.cpu_min_per_gb = 0.10;
+    queries.push_back(std::move(q));
+  }
+  // Modeling: k-means over the lat/long and NDVI of the Amazon rainforest
+  // (deforestation regions). Amazon: lon -75..-48, lat -15..5.
+  {
+    exec::QuerySpec q;
+    q.name = "modis-kmeans-amazon";
+    q.kind = exec::QueryKind::kKMeans;
+    const int64_t lon_lo = (-75 + 180) / 12;   // 8
+    const int64_t lon_hi = (-48 + 180) / 12;   // 11
+    const int64_t lat_lo = (-15 + 90) / 12;    // 6
+    const int64_t lat_hi = (5 + 90) / 12;      // 7
+    q.region.lo = {0, lon_lo, lat_lo};
+    q.region.hi = {cycle, lon_hi, lat_hi};
+    q.cpu_min_per_gb = 0.03;
+    q.iterations = 10;
+    queries.push_back(std::move(q));
+  }
+  // Complex projection: windowed aggregate of the most recent day's
+  // vegetation index — partially overlapping windows need neighbor chunks.
+  {
+    exec::QuerySpec q;
+    q.name = "modis-window-ndvi";
+    q.kind = exec::QueryKind::kWindow;
+    q.region.lo = {cycle, 0, 0};
+    q.region.hi = {cycle, extents[1] - 1, extents[2] - 1};
+    q.cpu_min_per_gb = 0.30;
+    q.halo_fraction = 0.3;  // Overlap slab of the neighbor chunk.
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace arraydb::workload

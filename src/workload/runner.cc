@@ -1,0 +1,110 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+
+#include "core/elastic_engine.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace arraydb::workload {
+
+RunResult WorkloadRunner::Run(const Workload& workload) const {
+  const double capacity = workload.node_capacity_gb();
+  core::ElasticEngine engine(
+      core::MakePartitioner(config_.partitioner, workload.schema(),
+                            config_.initial_nodes, capacity,
+                            workload.growth_dim()),
+      config_.initial_nodes, capacity, config_.cost_params);
+  exec::QueryEngine query_engine(config_.engine_params);
+
+  core::StaircaseConfig stair_cfg;
+  stair_cfg.node_capacity_gb = capacity;
+  stair_cfg.samples = config_.staircase_samples;
+  stair_cfg.plan_ahead = config_.staircase_plan_ahead;
+  core::LeadingStaircase staircase(stair_cfg);
+
+  RunResult result;
+  for (int cycle = 0; cycle < workload.num_cycles(); ++cycle) {
+    CycleMetrics m;
+    m.cycle = cycle;
+    m.nodes_before = engine.cluster().num_nodes();
+
+    const auto batch = workload.GenerateBatch(cycle);
+    double batch_gb = 0.0;
+    for (const auto& c : batch) {
+      batch_gb += util::BytesToGb(static_cast<double>(c.bytes));
+    }
+    const double projected = engine.cluster().TotalGb() + batch_gb;
+
+    // Phase 1 (§3.4): determine whether the cluster is under-provisioned
+    // for the incoming insert; if so scale out and redistribute the
+    // preexisting chunks.
+    int to_add = 0;
+    if (config_.policy == ScaleOutPolicy::kCapacityTrigger) {
+      const int nodes = engine.cluster().num_nodes();
+      if (projected > engine.cluster().CapacityGb() &&
+          nodes < config_.max_nodes) {
+        to_add = std::min(config_.nodes_per_scaleout,
+                          config_.max_nodes - nodes);
+      }
+    } else {
+      to_add = staircase.Evaluate(projected,
+                                  engine.cluster().num_nodes())
+                   .nodes_to_add;
+    }
+    if (to_add > 0) {
+      const auto reorg = engine.ScaleOut(to_add);
+      m.reorg_minutes = reorg.minutes;
+      m.moved_gb = reorg.moved_gb;
+      m.chunks_moved = reorg.chunks_moved;
+      m.reorg_only_to_new_nodes = reorg.only_to_new_nodes;
+    }
+
+    // Phase 2: ingest the batch.
+    const auto insert = engine.IngestBatch(batch);
+    m.insert_minutes = insert.minutes;
+    m.load_gb = engine.cluster().TotalGb();
+    m.rsd = engine.cluster().LoadRsd();
+    m.nodes_after = engine.cluster().num_nodes();
+    staircase.ObserveLoad(m.load_gb);
+
+    // Phase 3: execute the query workload.
+    if (config_.run_queries) {
+      for (const auto& q : workload.SpjQueries(cycle)) {
+        const auto cost =
+            query_engine.Simulate(q, engine.cluster(), workload.schema());
+        m.spj_minutes += cost.minutes;
+        m.query_minutes.emplace_back(q.name, cost.minutes);
+      }
+      for (const auto& q : workload.ScienceQueries(cycle)) {
+        const auto cost =
+            query_engine.Simulate(q, engine.cluster(), workload.schema());
+        m.science_minutes += cost.minutes;
+        m.query_minutes.emplace_back(q.name, cost.minutes);
+      }
+    }
+
+    // Eq. 1: N_i * (I_i + r_i + w_i), accumulated in node hours.
+    result.cost_node_hours +=
+        static_cast<double>(m.nodes_after) *
+        (m.insert_minutes + m.reorg_minutes + m.spj_minutes +
+         m.science_minutes) /
+        60.0;
+
+    result.total_insert_minutes += m.insert_minutes;
+    result.total_reorg_minutes += m.reorg_minutes;
+    result.total_spj_minutes += m.spj_minutes;
+    result.total_science_minutes += m.science_minutes;
+    result.mean_rsd += m.rsd;
+    result.cycles.push_back(std::move(m));
+  }
+  if (!result.cycles.empty()) {
+    result.mean_rsd /= static_cast<double>(result.cycles.size());
+  }
+  result.final_nodes = result.cycles.empty()
+                           ? config_.initial_nodes
+                           : result.cycles.back().nodes_after;
+  return result;
+}
+
+}  // namespace arraydb::workload

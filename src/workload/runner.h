@@ -1,0 +1,96 @@
+// WorkloadRunner: executes the cyclic workload model (§3.4) end to end —
+// per cycle: provision check, scale-out + reorganization, batch insert,
+// then both benchmark suites — and records the metrics behind every figure
+// and table of §6.
+
+#ifndef ARRAYDB_WORKLOAD_RUNNER_H_
+#define ARRAYDB_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "core/partitioner_factory.h"
+#include "core/provisioner.h"
+#include "exec/engine.h"
+#include "workload/workload.h"
+
+namespace arraydb::workload {
+
+/// When the runner expands the cluster.
+enum class ScaleOutPolicy {
+  /// §6.2 experiment setup: add a fixed number of nodes whenever projected
+  /// load exceeds capacity, up to max_nodes.
+  kCapacityTrigger,
+  /// §5: the leading-staircase PD control loop decides when and how many.
+  kStaircase,
+};
+
+struct RunnerConfig {
+  core::PartitionerKind partitioner =
+      core::PartitionerKind::kConsistentHash;
+  ScaleOutPolicy policy = ScaleOutPolicy::kCapacityTrigger;
+  int initial_nodes = 2;
+  int nodes_per_scaleout = 2;  // Capacity-trigger step (§6.2 uses 2).
+  int max_nodes = 8;           // Capacity-trigger testbed size.
+  int staircase_samples = 4;   // s, for the staircase policy.
+  int staircase_plan_ahead = 3;  // p, for the staircase policy.
+  cluster::CostParams cost_params;
+  exec::EngineParams engine_params;
+  bool run_queries = true;
+};
+
+/// Everything measured in one workload cycle.
+struct CycleMetrics {
+  int cycle = 0;
+  int nodes_before = 0;
+  int nodes_after = 0;
+  double load_gb = 0.0;          // Storage demand after the insert.
+  double insert_minutes = 0.0;   // I_i
+  double reorg_minutes = 0.0;    // r_i
+  double spj_minutes = 0.0;      // SPJ benchmark share of w_i.
+  double science_minutes = 0.0;  // Science benchmark share of w_i.
+  double rsd = 0.0;              // Load balance after the insert.
+  double moved_gb = 0.0;
+  int64_t chunks_moved = 0;
+  bool reorg_only_to_new_nodes = true;
+  /// Per-query latencies (name, minutes) for figure-level series.
+  std::vector<std::pair<std::string, double>> query_minutes;
+};
+
+struct RunResult {
+  std::vector<CycleMetrics> cycles;
+  double total_insert_minutes = 0.0;
+  double total_reorg_minutes = 0.0;
+  double total_spj_minutes = 0.0;
+  double total_science_minutes = 0.0;
+  double mean_rsd = 0.0;          // Averaged over all inserts (Figure 4).
+  double cost_node_hours = 0.0;   // Eq. 1.
+  int final_nodes = 0;
+
+  double total_benchmark_minutes() const {
+    return total_spj_minutes + total_science_minutes;
+  }
+  double total_workload_minutes() const {
+    return total_insert_minutes + total_reorg_minutes +
+           total_benchmark_minutes();
+  }
+};
+
+class WorkloadRunner {
+ public:
+  explicit WorkloadRunner(RunnerConfig config) : config_(std::move(config)) {}
+
+  /// Runs every cycle of `workload` and returns the collected metrics.
+  RunResult Run(const Workload& workload) const;
+
+  const RunnerConfig& config() const { return config_; }
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace arraydb::workload
+
+#endif  // ARRAYDB_WORKLOAD_RUNNER_H_

@@ -1,0 +1,108 @@
+#include "workload/sample_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace arraydb::workload {
+
+using array::Array;
+using array::ArraySchema;
+using array::AttrType;
+using array::AttributeDesc;
+using array::DimensionDesc;
+
+Array MakeSmallModisBand(int days, uint64_t seed) {
+  ARRAYDB_CHECK_GE(days, 1);
+  ArraySchema schema(
+      "band_small",
+      {DimensionDesc{"time", 0, days - 1, 1, false},
+       DimensionDesc{"longitude", 0, 31, 4, false},
+       DimensionDesc{"latitude", 0, 15, 4, false}},
+      {AttributeDesc{"si_value", AttrType::kInt32},
+       AttributeDesc{"radiance", AttrType::kDouble},
+       AttributeDesc{"reflectance", AttrType::kDouble}});
+  Array band(std::move(schema));
+
+  util::Rng rng(seed);
+  for (int64_t t = 0; t < days; ++t) {
+    for (int64_t lon = 0; lon < 32; ++lon) {
+      for (int64_t lat = 0; lat < 16; ++lat) {
+        // "Land" covers the left 3/5 of the grid; ocean cells are sparse.
+        const bool land = lon < 20;
+        const double occupancy = land ? 0.9 : 0.15;
+        if (rng.NextDouble() >= occupancy) continue;
+        // Radiance: smooth spatial gradient + daily wobble; reflectance
+        // correlates with latitude (ice caps are brighter).
+        const double radiance =
+            100.0 + 2.0 * static_cast<double>(lon) -
+            1.5 * std::abs(static_cast<double>(lat) - 8.0) +
+            3.0 * std::sin(static_cast<double>(t)) + rng.NextGaussian();
+        const double reflectance =
+            0.2 + 0.04 * std::abs(static_cast<double>(lat) - 8.0) +
+            0.01 * rng.NextGaussian();
+        const double si = std::round(radiance * 10.0);
+        ARRAYDB_CHECK(
+            band.InsertCell({t, lon, lat}, {si, radiance, reflectance}).ok());
+      }
+    }
+  }
+  return band;
+}
+
+Array MakeSmallAisTracks(int months, int ships, uint64_t seed) {
+  ARRAYDB_CHECK_GE(months, 1);
+  ARRAYDB_CHECK_GE(ships, 1);
+  ArraySchema schema(
+      "broadcast_small",
+      {DimensionDesc{"time", 0, months - 1, 1, false},
+       DimensionDesc{"longitude", 0, 31, 4, false},
+       DimensionDesc{"latitude", 0, 23, 4, false}},
+      {AttributeDesc{"speed", AttrType::kInt32},
+       AttributeDesc{"ship_id", AttrType::kInt32},
+       AttributeDesc{"voyage_id", AttrType::kInt32}});
+  Array tracks(std::move(schema));
+
+  // Two synthetic ports; ships loiter near one of them and occasionally
+  // steam between them, so most broadcasts cluster at the ports.
+  const double port_lon[2] = {6.0, 26.0};
+  const double port_lat[2] = {6.0, 18.0};
+
+  util::Rng rng(seed);
+  for (int ship = 0; ship < ships; ++ship) {
+    const int home = static_cast<int>(rng.NextBounded(2));
+    for (int64_t t = 0; t < months; ++t) {
+      // 80%: near the home port. 20%: in transit on the open grid.
+      const bool in_port = rng.NextDouble() < 0.8;
+      double lon, lat, speed;
+      if (in_port) {
+        lon = port_lon[home] + rng.NextGaussian() * 1.2;
+        lat = port_lat[home] + rng.NextGaussian() * 1.2;
+        speed = std::abs(rng.NextGaussian()) * 2.0;  // Mostly idle.
+      } else {
+        const double progress = rng.NextDouble();
+        lon = port_lon[0] + (port_lon[1] - port_lon[0]) * progress +
+              rng.NextGaussian();
+        lat = port_lat[0] + (port_lat[1] - port_lat[0]) * progress +
+              rng.NextGaussian();
+        speed = 10.0 + std::abs(rng.NextGaussian()) * 4.0;  // Underway.
+      }
+      const int64_t ilon =
+          std::clamp<int64_t>(static_cast<int64_t>(std::llround(lon)), 0, 31);
+      const int64_t ilat =
+          std::clamp<int64_t>(static_cast<int64_t>(std::llround(lat)), 0, 23);
+      // One broadcast per ship-month at most (cells are single-occupancy);
+      // collisions on a cell keep the first broadcast (no-overwrite model).
+      const auto status = tracks.InsertCell(
+          {t, ilon, ilat},
+          {std::round(speed), static_cast<double>(ship),
+           static_cast<double>(ship * 100 + static_cast<int>(t) / 3)});
+      (void)status;  // AlreadyExists is expected for popular cells.
+    }
+  }
+  return tracks;
+}
+
+}  // namespace arraydb::workload

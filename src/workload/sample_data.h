@@ -1,0 +1,31 @@
+// Small materialized datasets for examples and integration tests.
+//
+// These build real arrays with cell payloads — miniature versions of the
+// MODIS and AIS use cases — so the reference operators in exec/operators.h
+// can compute actual answers (vegetation indexes, ship densities, kNN
+// distances) at laptop scale.
+
+#ifndef ARRAYDB_WORKLOAD_SAMPLE_DATA_H_
+#define ARRAYDB_WORKLOAD_SAMPLE_DATA_H_
+
+#include <cstdint>
+
+#include "array/array.h"
+
+namespace arraydb::workload {
+
+/// A miniature MODIS band: 3-D (time, longitude, latitude) at 1x4x4-cell
+/// chunks over a `days` x 32 x 16 cell grid. Attributes:
+/// (si_value, radiance, reflectance). Radiance varies smoothly over space;
+/// occupancy is dense over "land" cells and sparse over "ocean".
+array::Array MakeSmallModisBand(int days, uint64_t seed);
+
+/// A miniature AIS broadcast array: 3-D (time, longitude, latitude) at
+/// 1x4x4-cell chunks over a `months` x 32 x 24 cell grid. Attributes:
+/// (speed, ship_id, voyage_id). Positions cluster around two synthetic
+/// ports, reproducing the use case's heavy spatial skew.
+array::Array MakeSmallAisTracks(int months, int ships, uint64_t seed);
+
+}  // namespace arraydb::workload
+
+#endif  // ARRAYDB_WORKLOAD_SAMPLE_DATA_H_

@@ -1,0 +1,51 @@
+// The cyclic workload model (§3.4): data ingest, reorganization, and query
+// processing, repeated per cycle over a monotonically growing store.
+//
+// A Workload bundles an array schema, a deterministic per-cycle batch
+// generator, and the two benchmark suites of §3.3 (Select-Project-Join and
+// Science Analytics). The two concrete workloads mirror the paper's use
+// cases: MODIS remote sensing (§3.1) and AIS ship tracking (§3.2).
+
+#ifndef ARRAYDB_WORKLOAD_WORKLOAD_H_
+#define ARRAYDB_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/schema.h"
+#include "exec/query.h"
+
+namespace arraydb::workload {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+  virtual const array::ArraySchema& schema() const = 0;
+
+  /// Number of workload cycles in the experiment (§6.1: 14 daily cycles for
+  /// MODIS, 10 quarterly cycles for AIS).
+  virtual int num_cycles() const = 0;
+
+  /// Per-node capacity used in the paper-scale experiments.
+  virtual double node_capacity_gb() const = 0;
+
+  /// Index of the growth (time) dimension, which range partitioners must
+  /// not cut (the paper declares it unbounded: time=0,*).
+  virtual int growth_dim() const { return 0; }
+
+  /// The batch of new chunks ingested at `cycle`. Deterministic: the same
+  /// cycle always generates the same chunks.
+  virtual std::vector<array::ChunkInfo> GenerateBatch(int cycle) const = 0;
+
+  /// Select-Project-Join benchmark queries for `cycle` (§3.3.1).
+  virtual std::vector<exec::QuerySpec> SpjQueries(int cycle) const = 0;
+
+  /// Science analytics benchmark queries for `cycle` (§3.3.2).
+  virtual std::vector<exec::QuerySpec> ScienceQueries(int cycle) const = 0;
+};
+
+}  // namespace arraydb::workload
+
+#endif  // ARRAYDB_WORKLOAD_WORKLOAD_H_

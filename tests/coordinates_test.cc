@@ -1,0 +1,64 @@
+// Unit tests for chunk/cell coordinate utilities.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "array/coordinates.h"
+
+namespace arraydb::array {
+namespace {
+
+TEST(CoordinatesTest, HashDistinguishesPermutations) {
+  CoordinatesHash hash;
+  EXPECT_NE(hash({1, 2, 3}), hash({3, 2, 1}));
+  EXPECT_NE(hash({0, 1}), hash({1, 0}));
+  EXPECT_EQ(hash({5, 6}), hash({5, 6}));
+}
+
+TEST(CoordinatesTest, HashSpreads) {
+  CoordinatesHash hash;
+  std::unordered_set<size_t> seen;
+  for (int64_t x = 0; x < 30; ++x) {
+    for (int64_t y = 0; y < 30; ++y) {
+      seen.insert(hash({x, y}));
+    }
+  }
+  EXPECT_EQ(seen.size(), 900u);  // No collisions on a small grid.
+}
+
+TEST(CoordinatesTest, ToString) {
+  EXPECT_EQ(CoordinatesToString({1, -2, 3}), "(1, -2, 3)");
+  EXPECT_EQ(CoordinatesToString({}), "()");
+  EXPECT_EQ(CoordinatesToString({42}), "(42)");
+}
+
+TEST(CoordinatesTest, LexicographicOrder) {
+  EXPECT_TRUE(CoordinatesLess({1, 2}, {1, 3}));
+  EXPECT_TRUE(CoordinatesLess({1, 9}, {2, 0}));
+  EXPECT_FALSE(CoordinatesLess({2, 0}, {1, 9}));
+  EXPECT_FALSE(CoordinatesLess({1, 2}, {1, 2}));
+}
+
+TEST(CoordinatesTest, FaceAdjacency) {
+  EXPECT_TRUE(AreFaceAdjacent({1, 1}, {1, 2}));
+  EXPECT_TRUE(AreFaceAdjacent({1, 1}, {0, 1}));
+  EXPECT_FALSE(AreFaceAdjacent({1, 1}, {2, 2}));  // Diagonal.
+  EXPECT_FALSE(AreFaceAdjacent({1, 1}, {1, 1}));  // Identity.
+  EXPECT_FALSE(AreFaceAdjacent({1, 1}, {1, 3}));  // Distance 2.
+}
+
+TEST(CoordinatesTest, FaceAdjacency3D) {
+  EXPECT_TRUE(AreFaceAdjacent({4, 5, 6}, {4, 5, 7}));
+  EXPECT_FALSE(AreFaceAdjacent({4, 5, 6}, {4, 6, 7}));
+}
+
+TEST(CoordinatesTest, Distances) {
+  EXPECT_EQ(ManhattanDistance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(ChebyshevDistance({0, 0}, {3, 4}), 4);
+  EXPECT_EQ(ManhattanDistance({-1, -1}, {1, 1}), 4);
+  EXPECT_EQ(ChebyshevDistance({5}, {5}), 0);
+}
+
+}  // namespace
+}  // namespace arraydb::array

@@ -1,0 +1,152 @@
+// Unit tests for the cluster cost model: insert pricing (Eq. 6 structure)
+// and reorganization makespan.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cost_model.h"
+#include "util/units.h"
+
+namespace arraydb::cluster {
+namespace {
+
+CostParams SimpleParams() {
+  CostParams p;
+  p.io_minutes_per_gb = 0.1;
+  p.net_minutes_per_gb = 0.2;
+  p.per_chunk_minutes = 0.0;
+  p.reorg_fixed_minutes = 0.0;
+  return p;
+}
+
+int64_t Gb(double gb) { return static_cast<int64_t>(gb * util::kGiB); }
+
+TEST(CostModelTest, InsertSplitsLocalAndRemote) {
+  CostModel model(SimpleParams());
+  // 1 GB local (node 0 = coordinator), 2 GB remote.
+  const auto cost = model.InsertMinutes(
+      {{0, Gb(1.0)}, {1, Gb(1.0)}, {2, Gb(1.0)}}, 0);
+  EXPECT_NEAR(cost.local_gb, 1.0, 1e-9);
+  EXPECT_NEAR(cost.remote_gb, 2.0, 1e-9);
+  EXPECT_NEAR(cost.minutes, 1.0 * 0.1 + 2.0 * 0.2, 1e-9);
+}
+
+TEST(CostModelTest, AllRemoteInsertCostsMore) {
+  CostModel model(SimpleParams());
+  // The Append pattern: everything lands on one non-coordinator target.
+  const auto append = model.InsertMinutes({{3, Gb(3.0)}}, 0);
+  // Even spread keeps 1/3 local.
+  const auto spread = model.InsertMinutes(
+      {{0, Gb(1.0)}, {1, Gb(1.0)}, {2, Gb(1.0)}}, 0);
+  EXPECT_GT(append.minutes, spread.minutes);
+}
+
+TEST(CostModelTest, EmptyInsertIsFree) {
+  CostModel model(SimpleParams());
+  EXPECT_DOUBLE_EQ(model.InsertMinutes({}, 0).minutes, 0.0);
+}
+
+TEST(CostModelTest, PerChunkOverheadCharged) {
+  CostParams p = SimpleParams();
+  p.per_chunk_minutes = 0.01;
+  CostModel model(p);
+  const auto one = model.InsertMinutes({{0, 100}}, 0);
+  const auto many = model.InsertMinutes(
+      {{0, 25}, {0, 25}, {0, 25}, {0, 25}}, 0);
+  EXPECT_NEAR(many.minutes - one.minutes, 0.03, 1e-9);
+}
+
+TEST(CostModelTest, EmptyReorgIsFree) {
+  CostModel model(SimpleParams());
+  MovePlan plan;
+  const auto cost = model.ReorgMinutes(plan, 4);
+  EXPECT_DOUBLE_EQ(cost.minutes, 0.0);
+  EXPECT_EQ(cost.chunks_moved, 0);
+}
+
+TEST(CostModelTest, ReorgMakespanIsBottleneckNode) {
+  CostModel model(SimpleParams());
+  MovePlan plan;
+  // Node 0 sends 2 GB to node 2; node 1 sends 1 GB to node 3.
+  plan.Add(ChunkMove{{0}, Gb(2.0), 0, 2});
+  plan.Add(ChunkMove{{1}, Gb(1.0), 1, 3});
+  const auto cost = model.ReorgMinutes(plan, 4);
+  // Bottleneck: node 0 sends 2 GB (0.4 min) vs node 2 receives 2 GB
+  // (0.4 net + 0.2 io = 0.6 min). Receiver write dominates.
+  EXPECT_NEAR(cost.minutes, 2.0 * 0.2 + 2.0 * 0.1, 1e-9);
+  EXPECT_EQ(cost.bottleneck_node, 2);
+  EXPECT_NEAR(cost.moved_gb, 3.0, 1e-9);
+  EXPECT_EQ(cost.chunks_moved, 2);
+}
+
+TEST(CostModelTest, ParallelTransfersBeatSerial) {
+  CostModel model(SimpleParams());
+  // Serial: one node ships 4 GB to one receiver.
+  MovePlan serial;
+  serial.Add(ChunkMove{{0}, Gb(4.0), 0, 4});
+  // Parallel: four nodes ship 1 GB each to four distinct receivers.
+  MovePlan parallel;
+  for (int i = 0; i < 4; ++i) {
+    parallel.Add(ChunkMove{{i + 10}, Gb(1.0), i, 4 + i});
+  }
+  const auto s = model.ReorgMinutes(serial, 8);
+  const auto p = model.ReorgMinutes(parallel, 8);
+  EXPECT_GT(s.minutes, p.minutes * 2.0);
+}
+
+TEST(CostModelTest, FixedReorgOverheadAppliesOnlyWhenMoving) {
+  CostParams params = SimpleParams();
+  params.reorg_fixed_minutes = 0.5;
+  CostModel model(params);
+  MovePlan empty;
+  EXPECT_DOUBLE_EQ(model.ReorgMinutes(empty, 2).minutes, 0.0);
+  MovePlan one;
+  one.Add(ChunkMove{{0}, Gb(1.0), 0, 1});
+  EXPECT_GT(model.ReorgMinutes(one, 2).minutes, 0.5);
+}
+
+TEST(CostModelTest, SendPlusReceiveShareOneLink) {
+  CostParams params = SimpleParams();
+  params.incast_penalty = 0.0;  // Isolate the shared-link term.
+  CostModel model(params);
+  // Node 1 both receives 1 GB and sends 1 GB: its link carries 2 GB.
+  MovePlan plan;
+  plan.Add(ChunkMove{{0}, Gb(1.0), 0, 1});
+  plan.Add(ChunkMove{{1}, Gb(1.0), 1, 2});
+  const auto cost = model.ReorgMinutes(plan, 3);
+  // Node 1: (1+1)*0.2 + 1*0.1 = 0.5.
+  EXPECT_NEAR(cost.minutes, 0.5, 1e-9);
+  EXPECT_EQ(cost.bottleneck_node, 1);
+}
+
+TEST(CostModelTest, IncastPenaltySlowsAllToAllShuffles) {
+  CostParams params = SimpleParams();
+  params.incast_penalty = 0.5;
+  CostModel model(params);
+  // Pairwise: node 0 ships 2 GB to node 2 (one peer each).
+  MovePlan pairwise;
+  pairwise.Add(ChunkMove{{0}, Gb(2.0), 0, 2});
+  // Fan-out: node 0 ships 1 GB each to nodes 2 and 3 (two peers).
+  MovePlan fanout;
+  fanout.Add(ChunkMove{{1}, Gb(1.0), 0, 2});
+  fanout.Add(ChunkMove{{2}, Gb(1.0), 0, 3});
+  const auto p = model.ReorgMinutes(pairwise, 4);
+  const auto f = model.ReorgMinutes(fanout, 4);
+  // Same bytes over node 0's link, but the fan-out pays congestion
+  // (the per-receiver write I/O is smaller, so compare the send side).
+  // Pairwise bottleneck: receiver 2: 2*0.2 + 2*0.1 = 0.6.
+  EXPECT_NEAR(p.minutes, 0.6, 1e-9);
+  // Fan-out bottleneck: sender 0: 2 GB * 0.2 * (1 + 0.5) = 0.6; receivers
+  // 1*0.2+1*0.1 = 0.3 each.
+  EXPECT_NEAR(f.minutes, 0.6, 1e-9);
+  // With three peers the congestion dominates.
+  MovePlan wide;
+  wide.Add(ChunkMove{{3}, Gb(1.0), 0, 1});
+  wide.Add(ChunkMove{{4}, Gb(1.0), 0, 2});
+  wide.Add(ChunkMove{{5}, Gb(1.0), 0, 3});
+  const auto w = model.ReorgMinutes(wide, 4);
+  // Sender 0: 3 GB * 0.2 * (1 + 0.5*2) = 1.2.
+  EXPECT_NEAR(w.minutes, 1.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace arraydb::cluster

@@ -1,0 +1,227 @@
+// Unit tests for the distributed query timing model: makespan, halo
+// exchange, and the balance/clustering effects the paper's evaluation
+// depends on.
+
+#include <gtest/gtest.h>
+
+#include "array/schema.h"
+#include "cluster/cluster.h"
+#include "exec/engine.h"
+#include "util/units.h"
+
+namespace arraydb::exec {
+namespace {
+
+using array::ArraySchema;
+using array::AttrType;
+using array::AttributeDesc;
+using array::Coordinates;
+using array::DimensionDesc;
+
+ArraySchema GridSchema() {
+  return ArraySchema("g",
+                     {DimensionDesc{"x", 0, 7, 1, false},
+                      DimensionDesc{"y", 0, 7, 1, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+}
+
+int64_t Gb(double gb) { return static_cast<int64_t>(gb * util::kGiB); }
+
+QuerySpec ScanAll() {
+  QuerySpec q;
+  q.name = "scan";
+  q.kind = QueryKind::kFilter;
+  q.region = ChunkRegion::All(2);
+  q.cpu_min_per_gb = 0.1;
+  return q;
+}
+
+TEST(QueryEngineTest, EmptyClusterCostsOnlyStartup) {
+  cluster::Cluster cluster(2, 100.0);
+  QueryEngine engine;
+  const auto cost = engine.Simulate(ScanAll(), cluster, GridSchema());
+  EXPECT_DOUBLE_EQ(cost.minutes, engine.params().startup_minutes);
+  EXPECT_EQ(cost.chunks_touched, 0);
+}
+
+TEST(QueryEngineTest, BalancedPlacementBeatsConcentrated) {
+  const ArraySchema schema = GridSchema();
+  QueryEngine engine;
+  // Concentrated: all 8 chunks on node 0.
+  cluster::Cluster conc(4, 100.0);
+  // Balanced: 2 chunks per node.
+  cluster::Cluster bal(4, 100.0);
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(conc.PlaceChunk({i, 0}, Gb(1.0), 0).ok());
+    ASSERT_TRUE(bal.PlaceChunk({i, 0}, Gb(1.0),
+                               static_cast<cluster::NodeId>(i % 4))
+                    .ok());
+  }
+  const auto c = engine.Simulate(ScanAll(), conc, schema);
+  const auto b = engine.Simulate(ScanAll(), bal, schema);
+  EXPECT_NEAR(c.makespan_minutes, b.makespan_minutes * 4.0, 1e-9)
+      << "makespan must reflect parallelism";
+  EXPECT_DOUBLE_EQ(c.scanned_gb, b.scanned_gb);
+}
+
+TEST(QueryEngineTest, RegionRestrictsScan) {
+  const ArraySchema schema = GridSchema();
+  cluster::Cluster cluster(2, 100.0);
+  for (int64_t x = 0; x < 8; ++x) {
+    for (int64_t y = 0; y < 8; ++y) {
+      ASSERT_TRUE(cluster
+                      .PlaceChunk({x, y}, Gb(0.1),
+                                  static_cast<cluster::NodeId>((x + y) % 2))
+                      .ok());
+    }
+  }
+  QuerySpec q = ScanAll();
+  q.region.lo = {0, 0};
+  q.region.hi = {1, 1};  // 4 of 64 chunks.
+  QueryEngine engine;
+  const auto cost = engine.Simulate(q, cluster, schema);
+  EXPECT_EQ(cost.chunks_touched, 4);
+  EXPECT_NEAR(cost.scanned_gb, 0.4, 1e-6);
+}
+
+TEST(QueryEngineTest, DimJoinReadsBothInputs) {
+  const ArraySchema schema = GridSchema();
+  cluster::Cluster cluster(2, 100.0);
+  ASSERT_TRUE(cluster.PlaceChunk({0, 0}, Gb(1.0), 0).ok());
+  QueryEngine engine;
+  QuerySpec scan = ScanAll();
+  QuerySpec join = ScanAll();
+  join.kind = QueryKind::kDimJoin;
+  const auto s = engine.Simulate(scan, cluster, schema);
+  const auto j = engine.Simulate(join, cluster, schema);
+  EXPECT_NEAR(j.scanned_gb, 2.0 * s.scanned_gb, 1e-9);
+  EXPECT_GT(j.makespan_minutes, s.makespan_minutes);
+}
+
+TEST(QueryEngineTest, WindowChargesRemoteNeighborsOnly) {
+  const ArraySchema schema = GridSchema();
+  QueryEngine engine;
+  QuerySpec q = ScanAll();
+  q.kind = QueryKind::kWindow;
+  q.halo_fraction = 0.5;
+
+  // Clustered: left half on node 0, right half on node 1 -> only the
+  // 8-chunk seam is remote.
+  cluster::Cluster clustered(2, 100.0);
+  // Scattered: checkerboard -> every neighbor is remote.
+  cluster::Cluster scattered(2, 100.0);
+  for (int64_t x = 0; x < 8; ++x) {
+    for (int64_t y = 0; y < 8; ++y) {
+      ASSERT_TRUE(clustered
+                      .PlaceChunk({x, y}, Gb(0.1),
+                                  static_cast<cluster::NodeId>(x < 4 ? 0 : 1))
+                      .ok());
+      ASSERT_TRUE(scattered
+                      .PlaceChunk({x, y}, Gb(0.1),
+                                  static_cast<cluster::NodeId>((x + y) % 2))
+                      .ok());
+    }
+  }
+  const auto c = engine.Simulate(q, clustered, schema);
+  const auto s = engine.Simulate(q, scattered, schema);
+  // Fetches are deduplicated per (reader node, neighbor chunk): the seam
+  // costs 16 fetches when clustered; on the checkerboard every chunk is
+  // pulled once by the opposite node (64 fetches).
+  EXPECT_EQ(c.remote_neighbor_fetches, 16);
+  EXPECT_EQ(s.remote_neighbor_fetches, 64);
+  EXPECT_GT(s.minutes, c.minutes)
+      << "scattering contiguous chunks must slow spatial queries";
+}
+
+TEST(QueryEngineTest, KnnPrefersClusteredPlacement) {
+  const ArraySchema schema = GridSchema();
+  QueryEngine engine;
+  QuerySpec q = ScanAll();
+  q.kind = QueryKind::kKnn;
+  q.knn_samples = 32;
+  q.halo_fraction = 0.3;
+  q.seed = 5;
+
+  cluster::Cluster clustered(2, 100.0);
+  cluster::Cluster scattered(2, 100.0);
+  for (int64_t x = 0; x < 8; ++x) {
+    for (int64_t y = 0; y < 8; ++y) {
+      ASSERT_TRUE(clustered
+                      .PlaceChunk({x, y}, Gb(0.1),
+                                  static_cast<cluster::NodeId>(x < 4 ? 0 : 1))
+                      .ok());
+      ASSERT_TRUE(scattered
+                      .PlaceChunk({x, y}, Gb(0.1),
+                                  static_cast<cluster::NodeId>((x + y) % 2))
+                      .ok());
+    }
+  }
+  const auto c = engine.Simulate(q, clustered, schema);
+  const auto s = engine.Simulate(q, scattered, schema);
+  EXPECT_LT(c.remote_neighbor_fetches, s.remote_neighbor_fetches);
+  EXPECT_LT(c.minutes, s.minutes);
+}
+
+TEST(QueryEngineTest, KnnSamplingIsDeterministic) {
+  const ArraySchema schema = GridSchema();
+  cluster::Cluster cluster(2, 100.0);
+  for (int64_t x = 0; x < 8; ++x) {
+    ASSERT_TRUE(cluster.PlaceChunk({x, 0}, Gb(0.2 + 0.1 * (x % 3)),
+                                   static_cast<cluster::NodeId>(x % 2))
+                    .ok());
+  }
+  QuerySpec q = ScanAll();
+  q.kind = QueryKind::kKnn;
+  q.seed = 11;
+  QueryEngine engine;
+  const auto a = engine.Simulate(q, cluster, schema);
+  const auto b = engine.Simulate(q, cluster, schema);
+  EXPECT_DOUBLE_EQ(a.minutes, b.minutes);
+  EXPECT_EQ(a.remote_neighbor_fetches, b.remote_neighbor_fetches);
+}
+
+TEST(QueryEngineTest, SortPaysCoordinatorMerge) {
+  const ArraySchema schema = GridSchema();
+  cluster::Cluster cluster(2, 100.0);
+  ASSERT_TRUE(cluster.PlaceChunk({0, 0}, Gb(2.0), 0).ok());
+  QueryEngine engine;
+  QuerySpec scan = ScanAll();
+  QuerySpec sort = ScanAll();
+  sort.kind = QueryKind::kSortQuantile;
+  sort.selectivity = 0.5;
+  const auto sc = engine.Simulate(scan, cluster, schema);
+  const auto so = engine.Simulate(sort, cluster, schema);
+  EXPECT_GT(so.network_minutes, 0.0);
+  EXPECT_GT(so.minutes, sc.minutes);
+}
+
+TEST(QueryEngineTest, KMeansIterationsMultiplyCpu) {
+  const ArraySchema schema = GridSchema();
+  cluster::Cluster cluster(2, 100.0);
+  ASSERT_TRUE(cluster.PlaceChunk({0, 0}, Gb(1.0), 0).ok());
+  QueryEngine engine;
+  QuerySpec one = ScanAll();
+  one.kind = QueryKind::kKMeans;
+  one.iterations = 1;
+  QuerySpec ten = one;
+  ten.iterations = 10;
+  const auto c1 = engine.Simulate(one, cluster, schema);
+  const auto c10 = engine.Simulate(ten, cluster, schema);
+  EXPECT_GT(c10.minutes, c1.minutes * 3.0);
+}
+
+TEST(QueryEngineTest, AttrJoinBroadcastsSmallSide) {
+  const ArraySchema schema = GridSchema();
+  cluster::Cluster cluster(4, 100.0);
+  ASSERT_TRUE(cluster.PlaceChunk({0, 0}, Gb(1.0), 0).ok());
+  QueryEngine engine;
+  QuerySpec q = ScanAll();
+  q.kind = QueryKind::kAttrJoin;
+  q.small_side_gb = 0.024;
+  const auto cost = engine.Simulate(q, cluster, schema);
+  EXPECT_NEAR(cost.network_minutes,
+              0.024 * engine.params().net_min_per_gb, 1e-9);
+}
+
+}  // namespace
+}  // namespace arraydb::exec

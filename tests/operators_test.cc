@@ -1,0 +1,250 @@
+// Unit tests for the reference operator implementations: real answers on
+// small materialized arrays.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/array.h"
+#include "exec/operators.h"
+
+namespace arraydb::exec {
+namespace {
+
+using array::Array;
+using array::ArraySchema;
+using array::AttrType;
+using array::AttributeDesc;
+using array::Coordinates;
+using array::DimensionDesc;
+
+// 2-D array with one double attribute on an 8x8 grid, 2x2 chunks.
+Array MakeGridArray() {
+  ArraySchema schema("g",
+                     {DimensionDesc{"x", 0, 7, 2, false},
+                      DimensionDesc{"y", 0, 7, 2, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array a(std::move(schema));
+  for (int64_t x = 0; x < 8; ++x) {
+    for (int64_t y = 0; y < 8; ++y) {
+      // v = 10x + y, every cell occupied.
+      EXPECT_TRUE(
+          a.InsertCell({x, y}, {static_cast<double>(10 * x + y)}).ok());
+    }
+  }
+  return a;
+}
+
+TEST(FilterTest, BoxSelectsExactCells) {
+  const Array a = MakeGridArray();
+  CellBox box{{2, 3}, {4, 5}};
+  const auto cells = FilterBox(a, box);
+  EXPECT_EQ(cells.size(), 9u);  // 3 x 3 box.
+  for (const auto* cell : cells) {
+    EXPECT_GE(cell->pos[0], 2);
+    EXPECT_LE(cell->pos[0], 4);
+    EXPECT_GE(cell->pos[1], 3);
+    EXPECT_LE(cell->pos[1], 5);
+  }
+  // Sorted by position; first is (2,3) with value 23.
+  EXPECT_DOUBLE_EQ(cells[0]->values[0], 23.0);
+}
+
+TEST(FilterTest, EmptyBoxYieldsNothing) {
+  const Array a = MakeGridArray();
+  CellBox outside{{20, 20}, {30, 30}};
+  EXPECT_TRUE(FilterBox(a, outside).empty());
+}
+
+TEST(FilterTest, PrunesByChunk) {
+  // Sparse array: only one chunk occupied; box over another chunk.
+  ArraySchema schema("s", {DimensionDesc{"x", 0, 99, 10, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array a(std::move(schema));
+  ASSERT_TRUE(a.InsertCell({5}, {1.0}).ok());
+  EXPECT_TRUE(FilterBox(a, CellBox{{50}, {60}}).empty());
+  EXPECT_EQ(FilterBox(a, CellBox{{0}, {9}}).size(), 1u);
+}
+
+TEST(QuantileTest, MedianOfKnownValues) {
+  const Array a = MakeGridArray();  // Values 0..77, uniform-ish.
+  const auto median = AttrQuantile(a, 0, 0.5);
+  ASSERT_TRUE(median.ok());
+  // Values are {10x+y}: sorted median of the 64 values is 38.5.
+  EXPECT_NEAR(*median, 38.5, 1e-9);
+  const auto min = AttrQuantile(a, 0, 0.0);
+  EXPECT_DOUBLE_EQ(*min, 0.0);
+  const auto max = AttrQuantile(a, 0, 1.0);
+  EXPECT_DOUBLE_EQ(*max, 77.0);
+}
+
+TEST(QuantileTest, RejectsBadArguments) {
+  const Array a = MakeGridArray();
+  EXPECT_FALSE(AttrQuantile(a, 5, 0.5).ok());
+  EXPECT_FALSE(AttrQuantile(a, 0, 1.5).ok());
+  EXPECT_FALSE(AttrQuantile(a, -1, 0.5).ok());
+}
+
+TEST(DimJoinTest, CountsSharedPositions) {
+  ArraySchema schema("a", {DimensionDesc{"x", 0, 9, 2, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array a(schema);
+  Array b(schema);
+  for (int64_t x = 0; x < 10; ++x) {
+    ASSERT_TRUE(a.InsertCell({x}, {1.0}).ok());
+  }
+  for (int64_t x = 5; x < 10; ++x) {
+    ASSERT_TRUE(b.InsertCell({x}, {2.0}).ok());
+  }
+  EXPECT_EQ(DimJoinCount(a, b), 5);
+  EXPECT_EQ(DimJoinCount(b, a), 5);  // Symmetric.
+}
+
+TEST(DimJoinTest, DisjointArraysJoinEmpty) {
+  ArraySchema schema("a", {DimensionDesc{"x", 0, 9, 2, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array a(schema);
+  Array b(schema);
+  ASSERT_TRUE(a.InsertCell({0}, {1.0}).ok());
+  ASSERT_TRUE(b.InsertCell({9}, {1.0}).ok());
+  EXPECT_EQ(DimJoinCount(a, b), 0);
+}
+
+TEST(AttrJoinTest, MatchesKeySet) {
+  const Array a = MakeGridArray();
+  // Keys are v values: 0, 10, 77 exist; 99 does not.
+  EXPECT_EQ(AttrJoinCount(a, 0, {0, 10, 77, 99}), 3);
+  EXPECT_EQ(AttrJoinCount(a, 0, {}), 0);
+}
+
+TEST(GroupByTest, BinsSumCorrectly) {
+  const Array a = MakeGridArray();
+  // Bin 4x8: two bins along x (x in 0..3 and 4..7), one along y.
+  const auto groups = GroupBySum(a, {4, 8}, 0);
+  ASSERT_EQ(groups.size(), 2u);
+  // Sum over x=0..3,y=0..7 of 10x+y: 32 cells, sum = 10*(0+1+2+3)*8 + 28*4.
+  EXPECT_DOUBLE_EQ(groups.at({0, 0}), 10.0 * 6 * 8 + 28.0 * 4);
+  EXPECT_DOUBLE_EQ(groups.at({4, 0}), 10.0 * 22 * 8 + 28.0 * 4);
+}
+
+TEST(WindowTest, AverageAtInteriorCell) {
+  const Array a = MakeGridArray();
+  // Radius-1 window around (3,3): 9 values 10x+y for x,y in 2..4.
+  const auto avg = WindowAverageAt(a, 0, {3, 3}, 1);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(*avg, 33.0, 1e-9);  // Mean of 10x+y over the box = 10*3+3.
+}
+
+TEST(WindowTest, EdgeCellsUseSmallerWindows) {
+  const Array a = MakeGridArray();
+  // Corner (0,0): window covers x,y in 0..1 -> mean of {0,1,10,11} = 5.5.
+  const auto avg = WindowAverageAt(a, 0, {0, 0}, 1);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(*avg, 5.5, 1e-9);
+}
+
+TEST(WindowTest, RadiusZeroIsIdentity) {
+  const Array a = MakeGridArray();
+  const auto avg = WindowAverageAt(a, 0, {5, 2}, 0);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(*avg, 52.0);
+}
+
+TEST(WindowTest, AllCellsProducesSmoothField) {
+  const Array a = MakeGridArray();
+  const auto field = WindowAverageAll(a, 0, 1);
+  EXPECT_EQ(field.size(), 64u);
+  // Smoothing preserves the global mean for a linear field's interior but
+  // shifts edges; just check order and sane range.
+  for (const auto& [pos, value] : field) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 77.0);
+  }
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({0.0 + 0.01 * i, 0.0});
+    points.push_back({100.0 + 0.01 * i, 0.0});
+  }
+  const auto result = KMeans(points, 2, 50, 7);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  const double c0 = result.centroids[0][0];
+  const double c1 = result.centroids[1][0];
+  EXPECT_NEAR(std::min(c0, c1), 0.25, 0.5);
+  EXPECT_NEAR(std::max(c0, c1), 100.25, 0.5);
+  // Every point assigned to its nearby centroid -> small inertia.
+  EXPECT_LT(result.inertia, 10.0);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({static_cast<double>(i % 7), static_cast<double>(i % 11)});
+  }
+  const auto a = KMeans(points, 3, 20, 42);
+  const auto b = KMeans(points, 3, 20, 42);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeansTest, KEqualsPointsIsPerfect) {
+  std::vector<std::vector<double>> points = {{0.0}, {10.0}, {20.0}};
+  const auto result = KMeans(points, 3, 10, 1);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KnnTest, DenseClusterHasSmallDistances) {
+  ArraySchema schema("k",
+                     {DimensionDesc{"x", 0, 63, 4, false},
+                      DimensionDesc{"y", 0, 63, 4, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array dense(schema);
+  Array sparse(schema);
+  // Dense: 8x8 block of adjacent cells. Sparse: every 8th cell.
+  for (int64_t x = 0; x < 8; ++x) {
+    for (int64_t y = 0; y < 8; ++y) {
+      ASSERT_TRUE(dense.InsertCell({x, y}, {1.0}).ok());
+      ASSERT_TRUE(sparse.InsertCell({x * 8, y * 8}, {1.0}).ok());
+    }
+  }
+  const auto d_dense = KnnAverageDistance(dense, 4, 16, 3);
+  const auto d_sparse = KnnAverageDistance(sparse, 4, 16, 3);
+  ASSERT_TRUE(d_dense.ok());
+  ASSERT_TRUE(d_sparse.ok());
+  EXPECT_LT(*d_dense * 4.0, *d_sparse);
+}
+
+TEST(KnnTest, RejectsDegenerateInputs) {
+  ArraySchema schema("k", {DimensionDesc{"x", 0, 9, 2, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array a(schema);
+  ASSERT_TRUE(a.InsertCell({0}, {1.0}).ok());
+  ASSERT_TRUE(a.InsertCell({1}, {1.0}).ok());
+  EXPECT_FALSE(KnnAverageDistance(a, 5, 4, 1).ok());  // k >= cells.
+  EXPECT_FALSE(KnnAverageDistance(a, 0, 4, 1).ok());
+  EXPECT_FALSE(KnnAverageDistance(a, 1, 0, 1).ok());
+}
+
+TEST(RegridTest, CoarsensCountsAndSums) {
+  const Array a = MakeGridArray();
+  const auto coarse = Regrid(a, {4, 4}, 0);
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_EQ(coarse->total_cells(), 4);  // 8x8 -> 2x2.
+  // Each coarse cell aggregates 16 fine cells.
+  const auto cells = coarse->AllCells();
+  double total_count = 0.0;
+  for (const auto* cell : cells) total_count += cell->values[1];
+  EXPECT_DOUBLE_EQ(total_count, 64.0);
+}
+
+TEST(RegridTest, RejectsBadFactors) {
+  const Array a = MakeGridArray();
+  EXPECT_FALSE(Regrid(a, {0, 4}, 0).ok());
+  EXPECT_FALSE(Regrid(a, {4}, 0).ok());
+  EXPECT_FALSE(Regrid(a, {4, 4}, 9).ok());
+}
+
+}  // namespace
+}  // namespace arraydb::exec

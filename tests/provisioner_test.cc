@@ -1,0 +1,120 @@
+// Unit tests for the leading staircase PD control loop (§5.1, Eqs. 2-4).
+
+#include <gtest/gtest.h>
+
+#include "core/provisioner.h"
+
+namespace arraydb::core {
+namespace {
+
+StaircaseConfig Config(double c, int s, int p) {
+  StaircaseConfig cfg;
+  cfg.node_capacity_gb = c;
+  cfg.samples = s;
+  cfg.plan_ahead = p;
+  return cfg;
+}
+
+TEST(StaircaseTest, WithinCapacityDoesNothing) {
+  LeadingStaircase stair(Config(100.0, 4, 3));
+  stair.ObserveLoad(50.0);
+  const auto d = stair.Evaluate(80.0, 1);  // 80 < 1 * 100.
+  EXPECT_EQ(d.nodes_to_add, 0);
+  EXPECT_LE(d.proportional_gb, 0.0);
+}
+
+TEST(StaircaseTest, ProportionalTermIsExcessDemand) {
+  LeadingStaircase stair(Config(100.0, 1, 0));
+  stair.ObserveLoad(90.0);
+  const auto d = stair.Evaluate(130.0, 1);
+  // Eq. 2: p_i = 130 - 100 = 30.
+  EXPECT_NEAR(d.proportional_gb, 30.0, 1e-9);
+  // Eq. 3 with s=1: Δ = 130 - 90 = 40 but p=0 ignores it.
+  // Eq. 4: k = ceil(30/100) = 1.
+  EXPECT_EQ(d.nodes_to_add, 1);
+}
+
+TEST(StaircaseTest, DerivativeUsesLastSSamples) {
+  LeadingStaircase stair(Config(100.0, 3, 0));
+  stair.ObserveLoad(10.0);
+  stair.ObserveLoad(40.0);
+  stair.ObserveLoad(70.0);
+  stair.ObserveLoad(100.0);
+  const auto d = stair.Evaluate(130.0, 1);
+  // Δ over s=3 samples: (130 - 40) / 3 = 30 GB per cycle.
+  EXPECT_NEAR(d.derivative_gb_per_cycle, 30.0, 1e-9);
+}
+
+TEST(StaircaseTest, PlanAheadScalesStepHeight) {
+  // Same state, increasing p: the step height k must not decrease.
+  int last_k = 0;
+  for (const int p : {0, 1, 3, 6}) {
+    LeadingStaircase stair(Config(100.0, 2, p));
+    stair.ObserveLoad(100.0);
+    stair.ObserveLoad(180.0);
+    const auto d = stair.Evaluate(260.0, 2);  // 60 GB over capacity.
+    EXPECT_GE(d.nodes_to_add, last_k) << "p=" << p;
+    last_k = d.nodes_to_add;
+  }
+  EXPECT_GE(last_k, 3);  // Eager config must step high.
+}
+
+TEST(StaircaseTest, Eq4Arithmetic) {
+  LeadingStaircase stair(Config(100.0, 2, 3));
+  stair.ObserveLoad(200.0);
+  stair.ObserveLoad(250.0);
+  const auto d = stair.Evaluate(310.0, 3);
+  // p_i = 310 - 300 = 10. Δ over s=2 reaches two cycles back:
+  // (310 - 200)/2 = 55. k = ceil((10 + 3*55)/100) = 2.
+  EXPECT_NEAR(d.derivative_gb_per_cycle, 55.0, 1e-9);
+  EXPECT_EQ(d.nodes_to_add, 2);
+
+  LeadingStaircase eager(Config(100.0, 2, 6));
+  eager.ObserveLoad(200.0);
+  eager.ObserveLoad(250.0);
+  const auto e = eager.Evaluate(310.0, 3);
+  // k = ceil((10 + 6*55)/100) = ceil(3.4) = 4.
+  EXPECT_EQ(e.nodes_to_add, 4);
+}
+
+TEST(StaircaseTest, AlwaysAddsAtLeastOneWhenOverCapacity) {
+  LeadingStaircase stair(Config(100.0, 4, 0));
+  const auto d = stair.Evaluate(100.5, 1);  // Barely over, no history.
+  EXPECT_EQ(d.nodes_to_add, 1);
+}
+
+TEST(StaircaseTest, FewSamplesFallBackGracefully) {
+  LeadingStaircase stair(Config(100.0, 4, 3));
+  stair.ObserveLoad(80.0);  // Only one sample, s=4 requested.
+  const auto d = stair.Evaluate(120.0, 1);
+  EXPECT_NEAR(d.derivative_gb_per_cycle, 40.0, 1e-9);  // Uses s'=1.
+  EXPECT_GE(d.nodes_to_add, 1);
+}
+
+TEST(StaircaseTest, MonotonicDemandNeverCoalesces) {
+  // The staircase only ever adds nodes; simulate a long monotone demand
+  // curve and check the provisioned count never needs to shrink.
+  LeadingStaircase stair(Config(100.0, 4, 3));
+  int nodes = 1;
+  double load = 0.0;
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    load += 45.0;
+    const auto d = stair.Evaluate(load, nodes);
+    EXPECT_GE(d.nodes_to_add, 0);
+    nodes += d.nodes_to_add;
+    stair.ObserveLoad(load);
+    EXPECT_GE(static_cast<double>(nodes) * 100.0, load)
+        << "staircase fell behind demand at cycle " << cycle;
+  }
+}
+
+TEST(StaircaseTest, HistoryIsRecorded) {
+  LeadingStaircase stair(Config(100.0, 2, 1));
+  stair.ObserveLoad(1.0);
+  stair.ObserveLoad(2.0);
+  ASSERT_EQ(stair.history().size(), 2u);
+  EXPECT_DOUBLE_EQ(stair.history()[1], 2.0);
+}
+
+}  // namespace
+}  // namespace arraydb::core

@@ -1,0 +1,122 @@
+// Unit tests for ArraySchema: the SciDB-style declaration model of §2.
+
+#include <gtest/gtest.h>
+
+#include "array/schema.h"
+
+namespace arraydb::array {
+namespace {
+
+// The paper's Figure 1 example: A<i:int32, j:float>[x=1:4,2, y=1:4,2].
+ArraySchema Figure1Schema() {
+  return ArraySchema(
+      "A",
+      {DimensionDesc{"x", 1, 4, 2, false}, DimensionDesc{"y", 1, 4, 2, false}},
+      {AttributeDesc{"i", AttrType::kInt32},
+       AttributeDesc{"j", AttrType::kFloat}});
+}
+
+TEST(SchemaTest, Figure1RoundTrip) {
+  const ArraySchema schema = Figure1Schema();
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.ToString(), "A<i:int32,j:float>[x=1:4,2, y=1:4,2]");
+  EXPECT_EQ(schema.num_dims(), 2);
+  EXPECT_EQ(schema.num_attrs(), 2);
+  EXPECT_EQ(schema.TotalChunkSlots(), 4);  // Four 2x2 chunks.
+  EXPECT_EQ(schema.CellsPerChunkCap(), 4);
+  EXPECT_EQ(schema.BytesPerCell(), 8);  // int32 + float.
+}
+
+TEST(SchemaTest, ChunkOfMapsCellsToChunks) {
+  const ArraySchema schema = Figure1Schema();
+  EXPECT_EQ(schema.ChunkOf({1, 1}), (Coordinates{0, 0}));
+  EXPECT_EQ(schema.ChunkOf({2, 2}), (Coordinates{0, 0}));
+  EXPECT_EQ(schema.ChunkOf({3, 1}), (Coordinates{1, 0}));
+  EXPECT_EQ(schema.ChunkOf({4, 4}), (Coordinates{1, 1}));
+}
+
+TEST(SchemaTest, LinearizeIsBijective) {
+  const ArraySchema schema(
+      "B", {DimensionDesc{"x", 0, 29, 3, false},
+            DimensionDesc{"y", 0, 19, 4, false},
+            DimensionDesc{"z", 0, 9, 2, false}},
+      {AttributeDesc{"v", AttrType::kDouble}});
+  const int64_t slots = schema.TotalChunkSlots();
+  EXPECT_EQ(slots, 10 * 5 * 5);
+  for (int64_t i = 0; i < slots; ++i) {
+    const Coordinates c = schema.DelinearizeChunkIndex(i);
+    EXPECT_EQ(schema.LinearizeChunkIndex(c), i);
+    EXPECT_TRUE(schema.ChunkInBounds(c));
+  }
+}
+
+TEST(SchemaTest, ChunkCountRoundsUp) {
+  DimensionDesc d{"x", 0, 9, 4, false};  // Extent 10, interval 4 -> 3 chunks.
+  EXPECT_EQ(d.ChunkCount(), 3);
+  EXPECT_EQ(d.ChunkIndexOf(0), 0);
+  EXPECT_EQ(d.ChunkIndexOf(3), 0);
+  EXPECT_EQ(d.ChunkIndexOf(4), 1);
+  EXPECT_EQ(d.ChunkIndexOf(9), 2);
+  EXPECT_EQ(d.ChunkLow(2), 8);
+}
+
+TEST(SchemaTest, NegativeOriginDimension) {
+  // Longitude-style dimension: -180..180 with a 12-degree stride.
+  DimensionDesc lon{"longitude", -180, 180, 12, false};
+  EXPECT_EQ(lon.Extent(), 361);
+  EXPECT_EQ(lon.ChunkCount(), 31);
+  EXPECT_EQ(lon.ChunkIndexOf(-180), 0);
+  EXPECT_EQ(lon.ChunkIndexOf(-169), 0);
+  EXPECT_EQ(lon.ChunkIndexOf(-168), 1);
+  EXPECT_EQ(lon.ChunkIndexOf(0), 15);
+  EXPECT_EQ(lon.ChunkIndexOf(180), 30);
+}
+
+TEST(SchemaTest, ValidationCatchesErrors) {
+  EXPECT_FALSE(ArraySchema("", {DimensionDesc{"x", 0, 1, 1, false}},
+                           {AttributeDesc{"v", AttrType::kDouble}})
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(
+      ArraySchema("A", {}, {AttributeDesc{"v", AttrType::kDouble}})
+          .Validate()
+          .ok());
+  EXPECT_FALSE(
+      ArraySchema("A", {DimensionDesc{"x", 0, 1, 1, false}}, {}).Validate().ok());
+  // Duplicate names.
+  EXPECT_FALSE(ArraySchema("A",
+                           {DimensionDesc{"x", 0, 1, 1, false},
+                            DimensionDesc{"x", 0, 1, 1, false}},
+                           {AttributeDesc{"v", AttrType::kDouble}})
+                   .Validate()
+                   .ok());
+  // Non-positive chunk interval.
+  EXPECT_FALSE(ArraySchema("A", {DimensionDesc{"x", 0, 1, 0, false}},
+                           {AttributeDesc{"v", AttrType::kDouble}})
+                   .Validate()
+                   .ok());
+  // Empty range.
+  EXPECT_FALSE(ArraySchema("A", {DimensionDesc{"x", 5, 4, 1, false}},
+                           {AttributeDesc{"v", AttrType::kDouble}})
+                   .Validate()
+                   .ok());
+}
+
+TEST(SchemaTest, UnboundedDimensionRendersStar) {
+  const ArraySchema schema(
+      "T", {DimensionDesc{"time", 0, 0, 1440, true}},
+      {AttributeDesc{"v", AttrType::kDouble}});
+  EXPECT_EQ(schema.ToString(), "T<v:double>[time=0:*,1440]");
+}
+
+TEST(SchemaTest, AttrTypeFootprints) {
+  EXPECT_EQ(AttrTypeBytes(AttrType::kInt32), 4);
+  EXPECT_EQ(AttrTypeBytes(AttrType::kInt64), 8);
+  EXPECT_EQ(AttrTypeBytes(AttrType::kFloat), 4);
+  EXPECT_EQ(AttrTypeBytes(AttrType::kDouble), 8);
+  EXPECT_EQ(AttrTypeBytes(AttrType::kChar), 1);
+  EXPECT_GT(AttrTypeBytes(AttrType::kString), 8);
+}
+
+}  // namespace
+}  // namespace arraydb::array

@@ -1,0 +1,146 @@
+// Tests for the spatial projection and for the growth-dimension behaviour
+// of the range partitioners: with time excluded, every day's inserts must
+// spread across all hosts and spatial columns stay collocated over time.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "array/schema.h"
+#include "cluster/cluster.h"
+#include "core/partitioner_factory.h"
+#include "core/spatial.h"
+#include "util/rng.h"
+
+namespace arraydb::core {
+namespace {
+
+using array::ArraySchema;
+using array::AttrType;
+using array::AttributeDesc;
+using array::ChunkInfo;
+using array::Coordinates;
+using array::DimensionDesc;
+
+ArraySchema TimeSpatialSchema() {
+  return ArraySchema("ts",
+                     {DimensionDesc{"time", 0, 19, 1, false},
+                      DimensionDesc{"x", 0, 15, 1, false},
+                      DimensionDesc{"y", 0, 15, 1, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+}
+
+TEST(SpatialProjectionTest, DropsGrowthDimension) {
+  const ArraySchema schema = TimeSpatialSchema();
+  SpatialProjection proj(schema, /*growth_dim=*/0);
+  EXPECT_EQ(proj.num_dims(), 2);
+  EXPECT_EQ(proj.extents(), (Coordinates{16, 16}));
+  EXPECT_EQ(proj.Project({7, 3, 9}), (Coordinates{3, 9}));
+}
+
+TEST(SpatialProjectionTest, MiddleGrowthDimension) {
+  const ArraySchema schema = TimeSpatialSchema();
+  SpatialProjection proj(schema, /*growth_dim=*/1);
+  EXPECT_EQ(proj.extents(), (Coordinates{20, 16}));
+  EXPECT_EQ(proj.Project({7, 3, 9}), (Coordinates{7, 9}));
+}
+
+TEST(SpatialProjectionTest, NoneKeepsFullSpace) {
+  const ArraySchema schema = TimeSpatialSchema();
+  SpatialProjection proj(schema, SpatialProjection::kNone);
+  EXPECT_EQ(proj.num_dims(), 3);
+  EXPECT_EQ(proj.Project({7, 3, 9}), (Coordinates{7, 3, 9}));
+}
+
+class GrowthDimSweep : public testing::TestWithParam<PartitionerKind> {};
+
+// Each day's inserts must land on every host once the cluster has data —
+// the property that keeps the demand balanced while the store grows.
+TEST_P(GrowthDimSweep, DailyInsertsSpreadAcrossAllNodes) {
+  const ArraySchema schema = TimeSpatialSchema();
+  cluster::Cluster cluster(4, 1.0);
+  auto partitioner = MakePartitioner(GetParam(), schema, 4, 1.0,
+                                     /*growth_dim=*/0);
+  util::Rng rng(77);
+  for (int64_t t = 0; t < 6; ++t) {
+    std::set<cluster::NodeId> nodes_hit;
+    for (int64_t x = 0; x < 16; ++x) {
+      for (int64_t y = 0; y < 16; ++y) {
+        ChunkInfo info;
+        info.coords = {t, x, y};
+        info.bytes = 10000 + static_cast<int64_t>(rng.NextUniform(0, 2000));
+        info.cell_count = info.bytes / 8;
+        const auto node = partitioner->PlaceChunk(cluster, info);
+        ASSERT_TRUE(cluster.PlaceChunk(info.coords, info.bytes, node).ok());
+        nodes_hit.insert(node);
+      }
+    }
+    EXPECT_EQ(nodes_hit.size(), 4u)
+        << PartitionerKindName(GetParam()) << " concentrated day " << t;
+  }
+}
+
+// Spatial columns stay collocated: the same (x, y) cell at different times
+// must live on the same node.
+TEST_P(GrowthDimSweep, TimeColumnsAreCollocated) {
+  const ArraySchema schema = TimeSpatialSchema();
+  cluster::Cluster cluster(4, 1.0);
+  auto partitioner = MakePartitioner(GetParam(), schema, 4, 1.0,
+                                     /*growth_dim=*/0);
+  for (int64_t x = 0; x < 16; x += 3) {
+    for (int64_t y = 0; y < 16; y += 3) {
+      const cluster::NodeId first = partitioner->Locate({0, x, y});
+      for (int64_t t = 1; t < 20; ++t) {
+        EXPECT_EQ(partitioner->Locate({t, x, y}), first)
+            << "column (" << x << "," << y << ") split across time";
+      }
+    }
+  }
+}
+
+// Scale-out keeps the collocation property.
+TEST_P(GrowthDimSweep, CollocationSurvivesScaleOut) {
+  const ArraySchema schema = TimeSpatialSchema();
+  cluster::Cluster cluster(2, 1.0);
+  auto partitioner = MakePartitioner(GetParam(), schema, 2, 1.0,
+                                     /*growth_dim=*/0);
+  util::Rng rng(5);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t x = 0; x < 16; ++x) {
+      for (int64_t y = 0; y < 16; ++y) {
+        ChunkInfo info;
+        info.coords = {t, x, y};
+        info.bytes = 5000 + static_cast<int64_t>(rng.NextUniform(0, 50000));
+        const auto node = partitioner->PlaceChunk(cluster, info);
+        ASSERT_TRUE(cluster.PlaceChunk(info.coords, info.bytes, node).ok());
+      }
+    }
+  }
+  cluster.AddNodes(2);
+  ASSERT_TRUE(cluster.Apply(partitioner->PlanScaleOut(cluster, 2)).ok());
+  for (int64_t x = 0; x < 16; x += 2) {
+    for (int64_t y = 0; y < 16; y += 2) {
+      const cluster::NodeId first = partitioner->Locate({0, x, y});
+      for (int64_t t = 1; t < 4; ++t) {
+        EXPECT_EQ(partitioner->Locate({t, x, y}), first);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpatialPartitioners, GrowthDimSweep,
+    testing::Values(PartitionerKind::kHilbertCurve,
+                    PartitionerKind::kIncrementalQuadtree,
+                    PartitionerKind::kKdTree,
+                    PartitionerKind::kUniformRange),
+    [](const testing::TestParamInfo<PartitionerKind>& info) {
+      std::string name = PartitionerKindName(info.param);
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace arraydb::core

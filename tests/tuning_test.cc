@@ -1,0 +1,156 @@
+// Unit tests for the staircase tuners (§5.2): Algorithm 1 what-if sampling
+// and the Eq. 5-9 analytical scale-out cost model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/tuning.h"
+#include "util/rng.h"
+
+namespace arraydb::core {
+namespace {
+
+TEST(SamplingTunerTest, LinearDemandMakesAllSamplesPerfect) {
+  // Perfectly linear growth: every s predicts exactly; errors are all 0 and
+  // ties break toward s = 1.
+  std::vector<double> loads;
+  for (int i = 0; i < 12; ++i) loads.push_back(10.0 * i);
+  const auto errors = SamplingWhatIfErrors(loads, 4);
+  for (const double e : errors) EXPECT_NEAR(e, 0.0, 1e-9);
+  EXPECT_EQ(TuneSampleCount(loads, 4), 1);
+}
+
+TEST(SamplingTunerTest, NoisyDemandPrefersMoreSamples) {
+  // Linear trend plus alternating noise: one-sample derivatives chase the
+  // noise while longer windows average it out.
+  std::vector<double> loads;
+  double l = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    l += 10.0 + ((i % 2 == 0) ? 6.0 : -6.0);
+    loads.push_back(l);
+  }
+  const auto errors = SamplingWhatIfErrors(loads, 4);
+  EXPECT_LT(errors[3], errors[0]) << "s=4 should beat s=1 on noisy demand";
+  EXPECT_GT(TuneSampleCount(loads, 4), 1);
+}
+
+TEST(SamplingTunerTest, RegimeShiftsPreferFewSamples) {
+  // Demand whose slope keeps changing (seasonal shipping): the freshest
+  // sample tracks the regime better than long averages.
+  std::vector<double> loads;
+  double l = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    // Slope ramps smoothly up and down with a long period.
+    const double slope = 10.0 + 8.0 * std::sin(i * 0.5);
+    l += slope;
+    loads.push_back(l);
+  }
+  const auto errors = SamplingWhatIfErrors(loads, 4);
+  EXPECT_LT(errors[0], errors[3]) << "s=1 should beat s=4 on shifting demand";
+  EXPECT_EQ(TuneSampleCount(loads, 4), 1);
+}
+
+TEST(SamplingTunerTest, ShortHistoryYieldsInfiniteError) {
+  const std::vector<double> loads = {1.0, 2.0};
+  const auto errors = SamplingWhatIfErrors(loads, 4);
+  // s=1 usable (barely), s>=2 impossible with 2 points.
+  EXPECT_TRUE(std::isinf(errors[2]));
+  EXPECT_TRUE(std::isinf(errors[3]));
+}
+
+TEST(SamplingTunerTest, TestErrorMatchesManualComputation) {
+  const std::vector<double> loads = {0.0, 10.0, 30.0, 40.0};
+  // s=1: i=1: est=10, obs=20 -> 10. i=2: est=20, obs=10 -> 10. mean=10.
+  EXPECT_NEAR(SamplePredictionError(loads, 1), 10.0, 1e-9);
+  // s=2: i=2: est=(30-0)/2=15, obs=10 -> 5. mean=5.
+  EXPECT_NEAR(SamplePredictionError(loads, 2), 5.0, 1e-9);
+}
+
+ScaleOutCostModelParams ModisLikeParams() {
+  ScaleOutCostModelParams p;
+  p.l0_gb = 200.0;
+  p.mu_gb = 45.0;
+  p.capacity_gb = 100.0;
+  p.n0 = 2;
+  p.w0_minutes = 60.0;
+  p.delta_io_min_per_gb = 0.12;
+  p.t_net_min_per_gb = 0.25;
+  p.horizon_m = 4;
+  return p;
+}
+
+TEST(CostModelTunerTest, LoadProjectionIsLinear) {
+  const auto cycles = ModelConfiguration(1, ModisLikeParams());
+  ASSERT_EQ(cycles.size(), 4u);
+  EXPECT_NEAR(cycles[0].load_gb, 245.0, 1e-9);  // Eq. 5.
+  EXPECT_NEAR(cycles[3].load_gb, 380.0, 1e-9);
+}
+
+TEST(CostModelTunerTest, NodesGrowOnlyWhenOverCapacity) {
+  const auto cycles = ModelConfiguration(0, ModisLikeParams());
+  int prev = 2;
+  for (const auto& c : cycles) {
+    EXPECT_GE(c.nodes, prev);
+    EXPECT_GE(static_cast<double>(c.nodes) * 100.0, c.load_gb);
+    prev = c.nodes;
+  }
+}
+
+TEST(CostModelTunerTest, EagerConfigProvisionsMoreNodes) {
+  const auto lazy = ModelConfiguration(1, ModisLikeParams());
+  const auto eager = ModelConfiguration(6, ModisLikeParams());
+  EXPECT_GT(eager.back().nodes, lazy.back().nodes);
+}
+
+TEST(CostModelTunerTest, ReorgChargedOnlyAtExpansions) {
+  const auto cycles = ModelConfiguration(3, ModisLikeParams());
+  int prev = 2;
+  for (const auto& c : cycles) {
+    if (c.nodes == prev) {
+      EXPECT_DOUBLE_EQ(c.reorg_minutes, 0.0);
+    } else {
+      EXPECT_GT(c.reorg_minutes, 0.0);
+    }
+    prev = c.nodes;
+  }
+}
+
+TEST(CostModelTunerTest, QueryLatencyScalesWithLoadAndParallelism) {
+  const auto cycles = ModelConfiguration(3, ModisLikeParams());
+  // Eq. 8: w = w0 * (l/l0) * (N0/N). Check the first cycle by hand.
+  const auto& c = cycles[0];
+  const double expect =
+      60.0 * (c.load_gb / 200.0) * (2.0 / static_cast<double>(c.nodes));
+  EXPECT_NEAR(c.query_minutes, expect, 1e-9);
+}
+
+TEST(CostModelTunerTest, CostIsPositiveAndFinite) {
+  for (const int p : {0, 1, 3, 6, 10}) {
+    const double cost = EstimateConfigCostNodeHours(p, ModisLikeParams());
+    EXPECT_GT(cost, 0.0);
+    EXPECT_TRUE(std::isfinite(cost));
+  }
+}
+
+TEST(CostModelTunerTest, ExtremeEagernessCostsMore) {
+  // Vastly over-provisioning must never be the cheapest option: node-hours
+  // scale with the idle node count.
+  const auto params = ModisLikeParams();
+  const double moderate = EstimateConfigCostNodeHours(3, params);
+  const double extreme = EstimateConfigCostNodeHours(50, params);
+  EXPECT_GT(extreme, moderate);
+}
+
+TEST(CostModelTunerTest, TunePlanAheadPicksArgmin) {
+  const auto params = ModisLikeParams();
+  const int best = TunePlanAhead({1, 3, 6}, params);
+  double best_cost = EstimateConfigCostNodeHours(best, params);
+  for (const int p : {1, 3, 6}) {
+    EXPECT_LE(best_cost, EstimateConfigCostNodeHours(p, params) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace arraydb::core

@@ -1,0 +1,213 @@
+// Unit tests for src/util: status propagation, formatting, RNG
+// distributions, and summary statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace arraydb::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgument("bad rank");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rank");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad rank");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      NotFound("x").code(),       AlreadyExists("x").code(),
+      FailedPrecondition("x").code(), OutOfRange("x").code(),
+      Internal("x").code(),       InvalidArgument("x").code(),
+  };
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(1024.0 * 1024.0 * 1.5), "1.50 MB");
+  EXPECT_EQ(HumanBytes(kGiB * 2.0), "2.00 GB");
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcdef", 4), "abcd");
+}
+
+TEST(UnitsTest, RoundTrip) {
+  EXPECT_DOUBLE_EQ(BytesToGb(GbToBytes(3.25)), 3.25);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, SeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, BoundedIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleIsInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(rng.NextGaussian());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stat.stdev(), 1.0, 0.02);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.NextLogNormal(0.0, 2.0), 0.0);
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostLikely) {
+  ZipfTable table(100, 1.2);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[static_cast<size_t>(table.Sample(rng))];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfTable table(500, 0.9);
+  double sum = 0.0;
+  for (int64_t r = 0; r < table.size(); ++r) sum += table.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeavyTailConcentration) {
+  // With alpha ~1.5, the top 5% of ranks should hold most of the mass —
+  // the shape the AIS generator relies on.
+  ZipfTable table(1000, 1.5);
+  double top = 0.0;
+  for (int64_t r = 0; r < 50; ++r) top += table.Pmf(r);
+  EXPECT_GT(top, 0.75);
+}
+
+TEST(StatsTest, MeanStdev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(Stdev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(RelativeStdev(xs), 0.4);
+}
+
+TEST(StatsTest, EmptyInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Stdev({}), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeStdev({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, MedianAndQuantiles) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({5.0, 1.0, 3.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({5.0, 1.0, 3.0}, 1.0), 5.0);
+}
+
+TEST(StatsTest, MinMaxSum) {
+  const std::vector<double> xs = {3.0, -1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 9.0);
+  EXPECT_DOUBLE_EQ(Sum(xs), 11.0);
+}
+
+TEST(StatsTest, RunningStatMatchesBatch) {
+  Rng rng(3);
+  std::vector<double> xs;
+  RunningStat stat;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextUniform(-5.0, 5.0);
+    xs.push_back(x);
+    stat.Add(x);
+  }
+  EXPECT_NEAR(stat.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(stat.stdev(), Stdev(xs), 1e-9);
+}
+
+TEST(HashTest, SplitMixAvalanche) {
+  // Flipping one input bit should change many output bits on average.
+  int total_flips = 0;
+  for (uint64_t x = 0; x < 64; ++x) {
+    const uint64_t h1 = SplitMix64(x);
+    const uint64_t h2 = SplitMix64(x ^ 1);
+    total_flips += __builtin_popcountll(h1 ^ h2);
+  }
+  EXPECT_GT(total_flips / 64, 20);
+}
+
+}  // namespace
+}  // namespace arraydb::util
