@@ -1,7 +1,11 @@
 // Ablation microbenchmarks for the Hilbert curve substrate: index
-// throughput across dimensionalities, plus a locality comparison of
+// throughput across dimensionalities, the batched/codec ranking fast path
+// against the seed per-bit scalar path, plus a locality comparison of
 // chunk orderings (Hilbert vs row-major vs Z-order) — the property the
 // Hilbert partitioner's range splits depend on.
+//
+// Emits BENCH_hilbert.json (ns/op + items/s per benchmark, and the
+// batch-vs-seed speedup ratios) for cross-PR perf tracking.
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +14,7 @@
 #include <vector>
 
 #include "array/coordinates.h"
+#include "bench/gbench_json.h"
 #include "hilbert/hilbert.h"
 #include "util/rng.h"
 
@@ -47,6 +52,76 @@ void BM_HilbertPoint(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HilbertPoint)->Args({2, 8})->Args({3, 6});
+
+// -- Batched ranking vs the seed scalar path --------------------------------
+//
+// All three benchmarks rank the same pre-generated random points on the
+// same rectangular grid, so items/s is directly comparable:
+//   Seed    — the original per-call path: per-bit gather + rotate/gray
+//             arithmetic, per-call setup (HilbertRankReference).
+//   Scalar  — the codec fast path behind the unchanged HilbertRank API.
+//   Batch   — HilbertRankBatch, codec setup amortized over the batch.
+
+struct RankGrid {
+  array::Coordinates extents;
+};
+
+const RankGrid kRankGrids[] = {
+    {{36, 29, 23}},   // 3-D MODIS-like chunk grid (6 bits).
+    {{128, 128}},     // 2-D square grid (7 bits).
+};
+
+std::vector<array::Coordinates> MakeRankPoints(const array::Coordinates& ext,
+                                               size_t count) {
+  util::Rng rng(17);
+  std::vector<array::Coordinates> points(count);
+  for (auto& p : points) {
+    p.resize(ext.size());
+    for (size_t d = 0; d < ext.size(); ++d) {
+      p[d] = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(ext[d])));
+    }
+  }
+  return points;
+}
+
+constexpr size_t kRankBatchSize = 4096;
+
+void BM_HilbertRankSeed(benchmark::State& state) {
+  const auto& grid = kRankGrids[static_cast<size_t>(state.range(0))];
+  const auto points = MakeRankPoints(grid.extents, kRankBatchSize);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hilbert::HilbertRankReference(points[i], grid.extents));
+    i = (i + 1) % points.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HilbertRankSeed)->Arg(0)->Arg(1);
+
+void BM_HilbertRankScalar(benchmark::State& state) {
+  const auto& grid = kRankGrids[static_cast<size_t>(state.range(0))];
+  const auto points = MakeRankPoints(grid.extents, kRankBatchSize);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hilbert::HilbertRank(points[i], grid.extents));
+    i = (i + 1) % points.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HilbertRankScalar)->Arg(0)->Arg(1);
+
+void BM_HilbertRankBatch(benchmark::State& state) {
+  const auto& grid = kRankGrids[static_cast<size_t>(state.range(0))];
+  const auto points = MakeRankPoints(grid.extents, kRankBatchSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hilbert::HilbertRankBatch(points, grid.extents));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_HilbertRankBatch)->Arg(0)->Arg(1);
 
 // Mean Manhattan jump between consecutive cells of an ordering — lower is
 // better locality for range partitioning.
@@ -106,4 +181,40 @@ BENCHMARK(BM_OrderingLocality)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  arraydb::bench::JsonBenchWriter writer;
+  arraydb::bench::JsonFileReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Derived acceptance metrics: batched ranking throughput over the seed
+  // scalar path, per grid and overall (minimum across grids).
+  double min_speedup = 0.0;
+  for (size_t g = 0; g < std::size(kRankGrids); ++g) {
+    const std::string suffix = "/" + std::to_string(g);
+    const auto* seed = writer.Find("BM_HilbertRankSeed" + suffix);
+    const auto* batch = writer.Find("BM_HilbertRankBatch" + suffix);
+    if (seed == nullptr || batch == nullptr) continue;
+    if (seed->items_per_second <= 0.0 || batch->items_per_second <= 0.0) {
+      continue;
+    }
+    const double speedup = batch->items_per_second / seed->items_per_second;
+    writer.AddMetric("speedup_batch_vs_seed_grid" + std::to_string(g),
+                     speedup);
+    min_speedup = min_speedup == 0.0 ? speedup : std::min(min_speedup, speedup);
+  }
+  if (min_speedup > 0.0) {
+    writer.AddMetric("speedup_batch_vs_seed", min_speedup);
+    std::printf("batch-vs-seed ranking speedup (min over grids): %.2fx\n",
+                min_speedup);
+  }
+  if (!writer.WriteFile("BENCH_hilbert.json")) {
+    std::fprintf(stderr, "failed to write BENCH_hilbert.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_hilbert.json\n");
+  benchmark::Shutdown();
+  return 0;
+}

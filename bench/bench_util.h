@@ -1,11 +1,14 @@
-// Shared helpers for the experiment harnesses: aligned-table printing and
-// the standard §6.1 experiment configurations.
+// Shared helpers for the experiment harnesses: aligned-table printing, the
+// standard §6.1 experiment configurations, and machine-readable benchmark
+// output (BENCH_*.json) so the perf trajectory is tracked across PRs.
 
 #ifndef ARRAYDB_BENCH_BENCH_UTIL_H_
 #define ARRAYDB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/strings.h"
@@ -45,6 +48,59 @@ inline workload::RunnerConfig PartitionerExperimentConfig(
   cfg.max_nodes = 8;
   return cfg;
 }
+
+/// Collects per-benchmark (ns/op, throughput) pairs and writes them as a
+/// compact JSON file. Used by the google-benchmark micro benches via
+/// JsonFileReporter and writable directly by the plain harnesses.
+class JsonBenchWriter {
+ public:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;  // 0 when the bench reports no items.
+  };
+
+  void Add(Entry entry) { entries_.push_back(std::move(entry)); }
+
+  /// Derived summary metrics (e.g. speedup ratios) appended verbatim.
+  void AddMetric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Finds the first entry whose name starts with `prefix`; nullptr if none.
+  const Entry* Find(const std::string& prefix) const {
+    for (const auto& e : entries_) {
+      if (e.name.rfind(prefix, 0) == 0) return &e;
+    }
+    return nullptr;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      out << "    {\"name\": \"" << e.name << "\", \"ns_per_op\": "
+          << util::StrFormat("%.3f", e.ns_per_op)
+          << ", \"items_per_second\": "
+          << util::StrFormat("%.3f", e.items_per_second) << "}"
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+    for (const auto& [name, value] : metrics_) {
+      out << ",\n  \"" << name << "\": " << util::StrFormat("%.4f", value);
+    }
+    out << "\n}\n";
+    return true;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace arraydb::bench
 

@@ -1,0 +1,80 @@
+// Adapter from google-benchmark's reporter interface to JsonBenchWriter:
+// records (ns/op, items/s) per benchmark run so the micro benches can emit
+// BENCH_*.json next to their console output.
+
+#ifndef ARRAYDB_BENCH_GBENCH_JSON_H_
+#define ARRAYDB_BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace arraydb::bench {
+
+namespace internal {
+
+// google-benchmark removed Run::error_occurred in v1.8 (replaced by the
+// `skipped` enum). Probe for whichever field this library version has so
+// the adapter compiles against both.
+template <typename RunT, typename = void>
+struct HasErrorOccurred : std::false_type {};
+template <typename RunT>
+struct HasErrorOccurred<
+    RunT, std::void_t<decltype(std::declval<const RunT&>().error_occurred)>>
+    : std::true_type {};
+
+template <typename RunT, typename = void>
+struct HasSkipped : std::false_type {};
+template <typename RunT>
+struct HasSkipped<RunT,
+                  std::void_t<decltype(std::declval<const RunT&>().skipped)>>
+    : std::true_type {};
+
+template <typename RunT>
+bool RunErroredOrSkipped(const RunT& run) {
+  if constexpr (HasErrorOccurred<RunT>::value) {
+    return run.error_occurred;
+  } else if constexpr (HasSkipped<RunT>::value) {
+    return static_cast<int>(run.skipped) != 0;  // 0 == NotSkipped.
+  } else {
+    return false;
+  }
+}
+
+}  // namespace internal
+
+/// Display reporter that forwards to the standard console output while
+/// collecting entries into a JsonBenchWriter. Being the display reporter
+/// (not a --benchmark_out file reporter) means no extra flags are needed.
+class JsonFileReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonFileReporter(JsonBenchWriter* writer) : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (internal::RunErroredOrSkipped(run)) continue;
+      if (run.run_type != Run::RT_Iteration) continue;  // Skip aggregates.
+      JsonBenchWriter::Entry entry;
+      entry.name = run.benchmark_name();
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      entry.ns_per_op = run.real_accumulated_time / iterations * 1e9;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        entry.items_per_second = static_cast<double>(it->second);
+      }
+      writer_->Add(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  JsonBenchWriter* writer_;
+};
+
+}  // namespace arraydb::bench
+
+#endif  // ARRAYDB_BENCH_GBENCH_JSON_H_

@@ -41,7 +41,7 @@ int main() {
   // Complex projection benchmark: windowed average -> smooth image.
   const auto smoothed = exec::WindowAverageAll(band, 1, /*radius=*/1);
   double raw_mean = 0.0, smooth_mean = 0.0;
-  for (const auto* cell : band.AllCells()) raw_mean += cell->values[1];
+  for (const auto& cell : band.AllCells()) raw_mean += cell.values[1];
   raw_mean /= static_cast<double>(band.total_cells());
   for (const auto& [pos, v] : smoothed) smooth_mean += v;
   smooth_mean /= static_cast<double>(smoothed.size());
@@ -59,10 +59,10 @@ int main() {
 
   // Modeling benchmark: k-means over (lon, lat, radiance) triples.
   std::vector<std::vector<double>> pixels;
-  for (const auto* cell : band.AllCells()) {
-    pixels.push_back({static_cast<double>(cell->pos[1]),
-                      static_cast<double>(cell->pos[2]),
-                      cell->values[1] / 10.0});
+  for (const auto& cell : band.AllCells()) {
+    pixels.push_back({static_cast<double>(cell.pos[1]),
+                      static_cast<double>(cell.pos[2]),
+                      cell.values[1] / 10.0});
   }
   const auto clusters = exec::KMeans(pixels, /*k=*/4, /*max_iterations=*/25,
                                      /*seed=*/7);

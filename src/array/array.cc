@@ -28,7 +28,7 @@ util::Status Array::InsertCell(const Coordinates& pos,
   const Coordinates cc = schema_.ChunkOf(pos);
   auto [it, inserted] = chunks_.try_emplace(cc, Chunk(cc));
   (void)inserted;
-  it->second.AddCell(Cell{pos, std::move(values)}, schema_.BytesPerCell());
+  it->second.AppendCell(pos, values, schema_.BytesPerCell());
   total_cells_ += 1;
   total_bytes_ += schema_.BytesPerCell();
   return util::Status::Ok();
@@ -67,11 +67,23 @@ std::vector<ChunkInfo> Array::ChunkInfos() const {
   return out;
 }
 
-std::vector<const Cell*> Array::AllCells() const {
-  std::vector<const Cell*> out;
+std::vector<const Chunk*> Array::SortedChunks() const {
+  std::vector<const Chunk*> out;
+  out.reserve(chunks_.size());
+  for (const auto& [coords, chunk] : chunks_) out.push_back(&chunk);
+  std::sort(out.begin(), out.end(), [](const Chunk* a, const Chunk* b) {
+    return CoordinatesLess(a->coords(), b->coords());
+  });
+  return out;
+}
+
+std::vector<Cell> Array::AllCells() const {
+  std::vector<Cell> out;
   out.reserve(static_cast<size_t>(total_cells_));
-  for (const auto& [coords, chunk] : chunks_) {
-    for (const auto& cell : chunk.cells()) out.push_back(&cell);
+  for (const Chunk* chunk : SortedChunks()) {
+    for (size_t i = 0; i < chunk->num_cells(); ++i) {
+      out.push_back(chunk->MaterializeCell(i));
+    }
   }
   return out;
 }

@@ -41,8 +41,13 @@ class Array {
   /// Chunk metadata in deterministic (lexicographic) order.
   std::vector<ChunkInfo> ChunkInfos() const;
 
-  /// All materialized cells (test/example scale only).
-  std::vector<const Cell*> AllCells() const;
+  /// Pointers to all chunks in deterministic (lexicographic coordinate)
+  /// order, for operators that must produce order-stable output.
+  std::vector<const Chunk*> SortedChunks() const;
+
+  /// All materialized cells (test/example scale only), in deterministic
+  /// order: chunks by coordinates, cells in insertion order within a chunk.
+  std::vector<Cell> AllCells() const;
 
   /// Direct access to the chunk map for operators.
   const std::unordered_map<Coordinates, Chunk, CoordinatesHash>& chunks()

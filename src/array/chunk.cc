@@ -1,6 +1,6 @@
 #include "array/chunk.h"
 
-#include <utility>
+#include <algorithm>
 
 #include "util/logging.h"
 #include "util/strings.h"
@@ -14,19 +14,43 @@ std::string ChunkInfo::ToString() const {
                          static_cast<long long>(bytes));
 }
 
-void Chunk::AddCell(Cell cell, int64_t bytes_per_cell) {
-  ARRAYDB_CHECK_EQ(cell.pos.size(), info_.coords.size());
-  cells_.push_back(std::move(cell));
+void Chunk::AppendCell(const Coordinates& pos,
+                       const std::vector<double>& values,
+                       int64_t bytes_per_cell) {
+  ARRAYDB_CHECK_EQ(pos.size(), info_.coords.size());
+  if (num_cells() == 0) {
+    attrs_.resize(values.size());
+    bbox_lo_ = pos;
+    bbox_hi_ = pos;
+  } else {
+    ARRAYDB_CHECK_EQ(values.size(), attrs_.size());
+    for (size_t d = 0; d < pos.size(); ++d) {
+      bbox_lo_[d] = std::min(bbox_lo_[d], pos[d]);
+      bbox_hi_[d] = std::max(bbox_hi_[d], pos[d]);
+    }
+  }
+  coords_.insert(coords_.end(), pos.begin(), pos.end());
+  for (size_t a = 0; a < values.size(); ++a) attrs_[a].push_back(values[a]);
   info_.cell_count += 1;
   info_.bytes += bytes_per_cell;
 }
 
 void Chunk::SetSyntheticSize(int64_t cell_count, int64_t bytes) {
-  ARRAYDB_CHECK(cells_.empty());  // Synthetic and materialized modes are exclusive.
+  // Synthetic and materialized modes are exclusive.
+  ARRAYDB_CHECK(coords_.empty());
   ARRAYDB_CHECK_GE(cell_count, 0);
   ARRAYDB_CHECK_GE(bytes, 0);
   info_.cell_count = cell_count;
   info_.bytes = bytes;
+}
+
+Cell Chunk::MaterializeCell(size_t i) const {
+  Cell cell;
+  const int64_t* pos = cell_pos(i);
+  cell.pos.assign(pos, pos + num_dims());
+  cell.values.reserve(attrs_.size());
+  for (const auto& column : attrs_) cell.values.push_back(column[i]);
+  return cell;
 }
 
 }  // namespace arraydb::array

@@ -9,6 +9,13 @@
 // ChunkInfo carries only metadata (coordinates + cell count + bytes), which
 // is what the paper-scale simulation uses. Chunk optionally materializes
 // cell payloads for small-scale query execution in tests and examples.
+//
+// Materialized storage is columnar (structure of arrays): one packed
+// coordinate vector (ndims values per cell, insertion order) plus one
+// contiguous value column per attribute, and a maintained bounding box over
+// the stored positions. Scan operators iterate the columns linearly and
+// prune whole chunks via the bounding box instead of walking per-cell
+// structs.
 
 #ifndef ARRAYDB_ARRAY_CHUNK_H_
 #define ARRAYDB_ARRAY_CHUNK_H_
@@ -32,12 +39,13 @@ struct ChunkInfo {
 
 /// One materialized cell: its logical position plus one value per attribute
 /// (numeric attributes only; strings are modelled by their footprint).
+/// Used as a value type at API boundaries; chunks store columns, not Cells.
 struct Cell {
   Coordinates pos;
   std::vector<double> values;
 };
 
-/// A materialized chunk: metadata plus cell payload.
+/// A materialized chunk: metadata plus columnar cell payload.
 class Chunk {
  public:
   Chunk() = default;
@@ -47,18 +55,63 @@ class Chunk {
   const Coordinates& coords() const { return info_.coords; }
   int64_t cell_count() const { return info_.cell_count; }
   int64_t bytes() const { return info_.bytes; }
-  const std::vector<Cell>& cells() const { return cells_; }
 
   /// Appends a cell and grows the byte footprint by `bytes_per_cell`.
-  void AddCell(Cell cell, int64_t bytes_per_cell);
+  void AppendCell(const Coordinates& pos, const std::vector<double>& values,
+                  int64_t bytes_per_cell);
+
+  /// Convenience wrapper over AppendCell.
+  void AddCell(const Cell& cell, int64_t bytes_per_cell) {
+    AppendCell(cell.pos, cell.values, bytes_per_cell);
+  }
 
   /// Sets a synthetic physical size without materializing cells (used by the
   /// paper-scale generators, where only the footprint matters).
   void SetSyntheticSize(int64_t cell_count, int64_t bytes);
 
+  // -- Columnar access ------------------------------------------------------
+
+  /// Number of materialized cells (0 for synthetic chunks).
+  size_t num_cells() const {
+    return num_dims() == 0 ? 0 : coords_.size() / num_dims();
+  }
+
+  /// Rank of stored positions (the chunk-grid rank).
+  size_t num_dims() const { return info_.coords.size(); }
+
+  size_t num_attrs() const { return attrs_.size(); }
+
+  /// Pointer to the `i`-th stored position (num_dims consecutive values).
+  const int64_t* cell_pos(size_t i) const {
+    return coords_.data() + i * num_dims();
+  }
+
+  /// Packed coordinates, num_dims values per cell in insertion order.
+  const std::vector<int64_t>& packed_coords() const { return coords_; }
+
+  /// Contiguous value column of attribute `attr`.
+  const std::vector<double>& attr_column(size_t attr) const {
+    return attrs_[attr];
+  }
+
+  /// Value of attribute `attr` at cell `i`.
+  double attr_value(size_t attr, size_t i) const { return attrs_[attr][i]; }
+
+  /// Materializes cell `i` as a value (allocates; scan loops should use the
+  /// columnar accessors instead).
+  Cell MaterializeCell(size_t i) const;
+
+  /// Bounding box over the stored positions, inclusive on both ends.
+  /// Valid only when num_cells() > 0.
+  const Coordinates& bbox_lo() const { return bbox_lo_; }
+  const Coordinates& bbox_hi() const { return bbox_hi_; }
+
  private:
   ChunkInfo info_;
-  std::vector<Cell> cells_;
+  std::vector<int64_t> coords_;            // num_cells * num_dims, packed.
+  std::vector<std::vector<double>> attrs_; // One column per attribute.
+  Coordinates bbox_lo_;
+  Coordinates bbox_hi_;
 };
 
 }  // namespace arraydb::array

@@ -23,6 +23,9 @@ ElasticEngine::ElasticEngine(std::unique_ptr<Partitioner> partitioner,
 InsertStats ElasticEngine::IngestBatch(
     const std::vector<array::ChunkInfo>& batch) {
   InsertStats stats;
+  if (ingest_threads_ > 1) {
+    partitioner_->PrewarmPlacement(batch, ingest_threads_);
+  }
   std::vector<std::pair<cluster::NodeId, int64_t>> destinations;
   destinations.reserve(batch.size());
   for (const auto& chunk : batch) {

@@ -4,15 +4,19 @@
 
 #include "hilbert/hilbert.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace arraydb::core {
 
 HilbertPartitioner::HilbertPartitioner(const array::ArraySchema& schema,
                                        int initial_nodes, int growth_dim)
-    : projection_(schema, growth_dim), extents_(projection_.extents()) {
+    : projection_(schema, growth_dim),
+      extents_(projection_.extents()),
+      codec_(static_cast<int>(projection_.extents().size()),
+             hilbert::BitsForExtents(projection_.extents())) {
   ARRAYDB_CHECK_GE(initial_nodes, 1);
-  const int bits = hilbert::BitsForExtents(extents_);
-  const int n = static_cast<int>(extents_.size());
+  const int bits = codec_.bits();
+  const int n = codec_.num_dims();
   ARRAYDB_CHECK_LE(n * bits, 62);
   curve_length_ = 1ULL << (n * bits);
   // With no data yet, divide the curve evenly among the initial nodes.
@@ -29,24 +33,44 @@ HilbertPartitioner::HilbertPartitioner(const array::ArraySchema& schema,
 
 uint64_t HilbertPartitioner::RankOf(
     const array::Coordinates& chunk_coords) const {
-  return hilbert::HilbertRank(projection_.Project(chunk_coords), extents_);
+  const auto it = rank_cache_.find(chunk_coords);
+  if (it != rank_cache_.end()) return it->second;
+  const uint64_t rank =
+      codec_.RankChecked(projection_.Project(chunk_coords), extents_);
+  rank_cache_.emplace(chunk_coords, rank);
+  return rank;
+}
+
+void HilbertPartitioner::PrewarmPlacement(
+    const std::vector<array::ChunkInfo>& batch, int num_threads) {
+  // Parallel phase: each shard writes only its own slots of `ranks`, so the
+  // merge below observes one fixed, order-independent result.
+  std::vector<uint64_t> ranks(batch.size(), 0);
+  util::ParallelFor(
+      static_cast<int64_t>(batch.size()), num_threads,
+      [this, &batch, &ranks](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          ranks[static_cast<size_t>(i)] = codec_.RankChecked(
+              projection_.Project(batch[static_cast<size_t>(i)].coords),
+              extents_);
+        }
+      });
+  // Ordered merge into the memo, on the calling thread only.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    rank_cache_.emplace(batch[i].coords, ranks[i]);
+  }
 }
 
 size_t HilbertPartitioner::RangeIndexOf(uint64_t rank) const {
-  // Binary search for the range containing `rank`.
-  size_t lo = 0;
-  size_t hi = ranges_.size();
-  while (lo + 1 < hi) {
-    const size_t mid = (lo + hi) / 2;
-    if (ranges_[mid].start <= rank) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  ARRAYDB_CHECK_LE(ranges_[lo].start, rank);
-  ARRAYDB_CHECK_LT(rank, ranges_[lo].end);
-  return lo;
+  // Last range whose start is <= rank: one upper_bound, no linear probing.
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), rank,
+      [](uint64_t value, const Range& r) { return value < r.start; });
+  ARRAYDB_CHECK(it != ranges_.begin());
+  const size_t index = static_cast<size_t>(it - ranges_.begin()) - 1;
+  ARRAYDB_CHECK_LE(ranges_[index].start, rank);
+  ARRAYDB_CHECK_LT(rank, ranges_[index].end);
+  return index;
 }
 
 NodeId HilbertPartitioner::OwnerOfRank(uint64_t rank) const {

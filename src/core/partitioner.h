@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "array/chunk.h"
 #include "array/coordinates.h"
@@ -64,6 +65,18 @@ class Partitioner {
   /// Locates a chunk from the partitioning table alone (no cluster access).
   /// Valid for chunks previously placed (directly or via scale-out).
   virtual NodeId Locate(const array::Coordinates& chunk_coords) const = 0;
+
+  /// Optional batch hook called by the engine before routing `batch` chunk
+  /// by chunk: precompute whatever placement-independent per-chunk state the
+  /// partitioner wants (e.g. curve ranks), using up to `num_threads`
+  /// workers. Must not change any placement decision — the subsequent
+  /// PlaceChunk calls stay sequential, so results are deterministic and
+  /// identical for every thread count. Default: no-op.
+  virtual void PrewarmPlacement(const std::vector<array::ChunkInfo>& batch,
+                                int num_threads) {
+    (void)batch;
+    (void)num_threads;
+  }
 
   bool IsIncremental() const { return features() & kIncrementalScaleOut; }
   bool IsFineGrained() const {

@@ -18,31 +18,44 @@ bool CellBox::Contains(const array::Coordinates& pos) const {
   return true;
 }
 
-std::vector<const array::Cell*> FilterBox(const array::Array& array,
-                                          const CellBox& box) {
-  std::vector<const array::Cell*> out;
-  for (const auto& [coords, chunk] : array.chunks()) {
-    // Chunk pruning: skip chunks whose cell range cannot intersect the box.
-    bool overlaps = true;
-    for (int d = 0; d < array.schema().num_dims(); ++d) {
-      const auto& dim = array.schema().dims()[static_cast<size_t>(d)];
-      const int64_t chunk_lo = dim.ChunkLow(coords[static_cast<size_t>(d)]);
-      const int64_t chunk_hi = chunk_lo + dim.chunk_interval - 1;
-      if (chunk_hi < box.lo[static_cast<size_t>(d)] ||
-          chunk_lo > box.hi[static_cast<size_t>(d)]) {
-        overlaps = false;
-        break;
+bool CellBox::Intersects(const array::Coordinates& box_lo,
+                         const array::Coordinates& box_hi) const {
+  ARRAYDB_CHECK_EQ(box_lo.size(), lo.size());
+  for (size_t d = 0; d < lo.size(); ++d) {
+    if (box_hi[d] < lo[d] || box_lo[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+std::vector<array::Cell> FilterBox(const array::Array& array,
+                                   const CellBox& box) {
+  std::vector<array::Cell> out;
+  const size_t ndims = box.lo.size();
+  // Sorted chunk order + stable sort keeps duplicate positions in a
+  // deterministic relative order.
+  for (const array::Chunk* chunk_ptr : array.SortedChunks()) {
+    const array::Chunk& chunk = *chunk_ptr;
+    if (chunk.num_cells() == 0) continue;
+    // Chunk pruning: the maintained bounding box over stored cells is at
+    // least as tight as the chunk's schema extent.
+    if (!box.Intersects(chunk.bbox_lo(), chunk.bbox_hi())) continue;
+    const int64_t* pos = chunk.packed_coords().data();
+    const size_t count = chunk.num_cells();
+    for (size_t i = 0; i < count; ++i, pos += ndims) {
+      bool inside = true;
+      for (size_t d = 0; d < ndims; ++d) {
+        if (pos[d] < box.lo[d] || pos[d] > box.hi[d]) {
+          inside = false;
+          break;
+        }
       }
-    }
-    if (!overlaps) continue;
-    for (const auto& cell : chunk.cells()) {
-      if (box.Contains(cell.pos)) out.push_back(&cell);
+      if (inside) out.push_back(chunk.MaterializeCell(i));
     }
   }
-  std::sort(out.begin(), out.end(),
-            [](const array::Cell* a, const array::Cell* b) {
-              return array::CoordinatesLess(a->pos, b->pos);
-            });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const array::Cell& a, const array::Cell& b) {
+                     return array::CoordinatesLess(a.pos, b.pos);
+                   });
   return out;
 }
 
@@ -57,9 +70,9 @@ util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,
   std::vector<double> values;
   values.reserve(static_cast<size_t>(array.total_cells()));
   for (const auto& [coords, chunk] : array.chunks()) {
-    for (const auto& cell : chunk.cells()) {
-      values.push_back(cell.values[static_cast<size_t>(attr)]);
-    }
+    if (chunk.num_cells() == 0) continue;
+    const auto& column = chunk.attr_column(static_cast<size_t>(attr));
+    values.insert(values.end(), column.begin(), column.end());
   }
   if (values.empty()) return util::FailedPrecondition("array is empty");
   std::sort(values.begin(), values.end());
@@ -70,19 +83,35 @@ util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+namespace {
+
+// Copies the i-th packed position of `chunk` into `scratch`.
+inline void LoadPos(const array::Chunk& chunk, size_t i,
+                    array::Coordinates& scratch) {
+  const int64_t* pos = chunk.cell_pos(i);
+  scratch.assign(pos, pos + chunk.num_dims());
+}
+
+}  // namespace
+
 int64_t DimJoinCount(const array::Array& a, const array::Array& b) {
   // Probe the smaller side into the larger side's position table.
   const array::Array& build = a.total_cells() <= b.total_cells() ? a : b;
   const array::Array& probe = a.total_cells() <= b.total_cells() ? b : a;
-  std::unordered_map<array::Coordinates, int, array::CoordinatesHash>
-      positions;
+  std::unordered_set<array::Coordinates, array::CoordinatesHash> positions;
+  positions.reserve(static_cast<size_t>(build.total_cells()));
+  array::Coordinates scratch;
   for (const auto& [coords, chunk] : build.chunks()) {
-    for (const auto& cell : chunk.cells()) positions.emplace(cell.pos, 1);
+    for (size_t i = 0; i < chunk.num_cells(); ++i) {
+      LoadPos(chunk, i, scratch);
+      positions.insert(scratch);
+    }
   }
   int64_t matches = 0;
   for (const auto& [coords, chunk] : probe.chunks()) {
-    for (const auto& cell : chunk.cells()) {
-      if (positions.contains(cell.pos)) ++matches;
+    for (size_t i = 0; i < chunk.num_cells(); ++i) {
+      LoadPos(chunk, i, scratch);
+      if (positions.contains(scratch)) ++matches;
     }
   }
   return matches;
@@ -94,10 +123,9 @@ int64_t AttrJoinCount(const array::Array& array, int attr,
   ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
   int64_t matches = 0;
   for (const auto& [coords, chunk] : array.chunks()) {
-    for (const auto& cell : chunk.cells()) {
-      const int64_t key =
-          static_cast<int64_t>(cell.values[static_cast<size_t>(attr)]);
-      if (keys.contains(key)) ++matches;
+    if (chunk.num_cells() == 0) continue;
+    for (const double value : chunk.attr_column(static_cast<size_t>(attr))) {
+      if (keys.contains(static_cast<int64_t>(value))) ++matches;
     }
   }
   return matches;
@@ -109,21 +137,27 @@ std::map<array::Coordinates, double> GroupBySum(
                    static_cast<size_t>(array.schema().num_dims()));
   ARRAYDB_CHECK_GE(attr, 0);
   ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
-  std::map<array::Coordinates, double> groups;
-  for (const auto& [coords, chunk] : array.chunks()) {
-    for (const auto& cell : chunk.cells()) {
-      array::Coordinates key(cell.pos.size());
-      for (size_t d = 0; d < cell.pos.size(); ++d) {
-        ARRAYDB_CHECK_GT(bin[d], 0);
+  for (const int64_t b : bin) ARRAYDB_CHECK_GT(b, 0);
+  const size_t ndims = bin.size();
+  std::unordered_map<array::Coordinates, double, array::CoordinatesHash> acc;
+  array::Coordinates key(ndims);
+  // Sorted chunk order keeps floating-point accumulation deterministic.
+  for (const array::Chunk* chunk_ptr : array.SortedChunks()) {
+    const array::Chunk& chunk = *chunk_ptr;
+    if (chunk.num_cells() == 0) continue;
+    const auto& column = chunk.attr_column(static_cast<size_t>(attr));
+    const int64_t* pos = chunk.packed_coords().data();
+    for (size_t i = 0; i < chunk.num_cells(); ++i, pos += ndims) {
+      for (size_t d = 0; d < ndims; ++d) {
         // Bin origin (floor division handles negative coordinates).
-        int64_t q = cell.pos[d] / bin[d];
-        if (cell.pos[d] % bin[d] != 0 && cell.pos[d] < 0) --q;
+        int64_t q = pos[d] / bin[d];
+        if (pos[d] % bin[d] != 0 && pos[d] < 0) --q;
         key[d] = q * bin[d];
       }
-      groups[key] += cell.values[static_cast<size_t>(attr)];
+      acc[key] += column[i];
     }
   }
-  return groups;
+  return std::map<array::Coordinates, double>(acc.begin(), acc.end());
 }
 
 namespace {
@@ -132,9 +166,14 @@ namespace {
 std::unordered_map<array::Coordinates, double, array::CoordinatesHash>
 BuildValueIndex(const array::Array& array, int attr) {
   std::unordered_map<array::Coordinates, double, array::CoordinatesHash> index;
+  index.reserve(static_cast<size_t>(array.total_cells()));
+  array::Coordinates scratch;
   for (const auto& [coords, chunk] : array.chunks()) {
-    for (const auto& cell : chunk.cells()) {
-      index.emplace(cell.pos, cell.values[static_cast<size_t>(attr)]);
+    if (chunk.num_cells() == 0) continue;
+    const auto& column = chunk.attr_column(static_cast<size_t>(attr));
+    for (size_t i = 0; i < chunk.num_cells(); ++i) {
+      LoadPos(chunk, i, scratch);
+      index.emplace(scratch, column[i]);
     }
   }
   return index;
@@ -286,7 +325,7 @@ util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
   double total = 0.0;
   for (int s = 0; s < samples; ++s) {
     const size_t idx = static_cast<size_t>(rng.NextBounded(cells.size()));
-    const auto& origin = cells[idx]->pos;
+    const auto& origin = cells[idx].pos;
     // Brute-force distances to all other cells; keep the k smallest.
     std::vector<double> dists;
     dists.reserve(cells.size() - 1);
@@ -295,7 +334,7 @@ util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
       double dist = 0.0;
       for (size_t d = 0; d < origin.size(); ++d) {
         const double diff =
-            static_cast<double>(cells[j]->pos[d] - origin[d]);
+            static_cast<double>(cells[j].pos[d] - origin[d]);
         dist += diff * diff;
       }
       dists.push_back(std::sqrt(dist));
@@ -343,20 +382,26 @@ util::StatusOr<array::Array> Regrid(const array::Array& array,
 
   // Accumulate, then materialize one cell per occupied coarse position.
   std::map<array::Coordinates, std::pair<double, int64_t>> acc;
-  for (const auto& [coords, chunk] : array.chunks()) {
-    for (const auto& cell : chunk.cells()) {
-      array::Coordinates key(cell.pos.size());
-      for (size_t d = 0; d < cell.pos.size(); ++d) {
-        key[d] = (cell.pos[d] - schema.dims()[d].lo) / factors[d];
+  const size_t ndims = factors.size();
+  array::Coordinates key(ndims);
+  // Sorted chunk order keeps floating-point accumulation deterministic.
+  for (const array::Chunk* chunk_ptr : array.SortedChunks()) {
+    const array::Chunk& chunk = *chunk_ptr;
+    if (chunk.num_cells() == 0) continue;
+    const auto& column = chunk.attr_column(static_cast<size_t>(attr));
+    const int64_t* pos = chunk.packed_coords().data();
+    for (size_t i = 0; i < chunk.num_cells(); ++i, pos += ndims) {
+      for (size_t d = 0; d < ndims; ++d) {
+        key[d] = (pos[d] - schema.dims()[d].lo) / factors[d];
       }
       auto& slot = acc[key];
-      slot.first += cell.values[static_cast<size_t>(attr)];
+      slot.first += column[i];
       slot.second += 1;
     }
   }
-  for (const auto& [key, slot] : acc) {
+  for (const auto& [coarse_key, slot] : acc) {
     const auto status = coarse.InsertCell(
-        key, {slot.first, static_cast<double>(slot.second)});
+        coarse_key, {slot.first, static_cast<double>(slot.second)});
     ARRAYDB_CHECK(status.ok());
   }
   return coarse;

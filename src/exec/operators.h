@@ -24,11 +24,17 @@ struct CellBox {
   array::Coordinates hi;
 
   bool Contains(const array::Coordinates& pos) const;
+
+  /// True if the box intersects [chunk_lo, chunk_hi] (both inclusive).
+  bool Intersects(const array::Coordinates& box_lo,
+                  const array::Coordinates& box_hi) const;
 };
 
-/// Selection: all cells inside `box`.
-std::vector<const array::Cell*> FilterBox(const array::Array& array,
-                                          const CellBox& box);
+/// Selection: all cells inside `box`, sorted by position. Whole chunks are
+/// pruned via their bounding boxes; surviving chunks are scanned linearly
+/// in columnar order.
+std::vector<array::Cell> FilterBox(const array::Array& array,
+                                   const CellBox& box);
 
 /// Sort benchmark: the q-quantile (0 <= q <= 1) of attribute `attr` over
 /// all non-empty cells.

@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace arraydb::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  ARRAYDB_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ARRAYDB_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+void ParallelFor(int64_t n, int max_shards,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  const int64_t shards =
+      std::min<int64_t>(std::max(1, max_shards), n);
+  if (shards == 1) {
+    body(0, n);
+    return;
+  }
+
+  // Contiguous static partition: shard s owns [s*step, ...) with the last
+  // shard absorbing the remainder. Completion is tracked with a counter so
+  // the caller can block without joining threads.
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t remaining = 0;
+  } completion;
+  completion.remaining = shards;
+
+  const int64_t step = n / shards;
+  const int64_t extra = n % shards;
+  int64_t begin = 0;
+  auto& pool = ThreadPool::Shared();
+  for (int64_t s = 0; s < shards; ++s) {
+    const int64_t len = step + (s < extra ? 1 : 0);
+    const int64_t end = begin + len;
+    pool.Submit([&body, &completion, begin, end] {
+      body(begin, end);
+      std::lock_guard<std::mutex> lock(completion.mu);
+      if (--completion.remaining == 0) completion.done.notify_one();
+    });
+    begin = end;
+  }
+  std::unique_lock<std::mutex> lock(completion.mu);
+  completion.done.wait(lock, [&completion] { return completion.remaining == 0; });
+}
+
+}  // namespace arraydb::util

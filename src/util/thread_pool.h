@@ -1,0 +1,59 @@
+// A small fixed-size thread pool plus a deterministic ParallelFor helper.
+//
+// The pool exists for the chunk-parallel ingest/placement fast path: rank
+// computation and other per-chunk work is sharded into contiguous index
+// ranges, each shard writes only its own output slots, and the caller
+// blocks until every shard has finished (ordered merge). Results are
+// bit-identical to the sequential execution regardless of thread count or
+// scheduling.
+
+#ifndef ARRAYDB_UTIL_THREAD_POOL_H_
+#define ARRAYDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arraydb::util {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Process-wide pool sized to the hardware concurrency, started lazily.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(begin, end) over contiguous shards of [0, n), at most
+/// `max_shards` of them, on the shared pool; blocks until all shards have
+/// completed. max_shards <= 1 (or tiny n) degenerates to an inline call, so
+/// a thread count of 1 is exactly the sequential path.
+void ParallelFor(int64_t n, int max_shards,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace arraydb::util
+
+#endif  // ARRAYDB_UTIL_THREAD_POOL_H_

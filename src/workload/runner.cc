@@ -1,6 +1,7 @@
 #include "workload/runner.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "core/elastic_engine.h"
 #include "util/logging.h"
@@ -15,6 +16,11 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
                             config_.initial_nodes, capacity,
                             workload.growth_dim()),
       config_.initial_nodes, capacity, config_.cost_params);
+  const int ingest_threads =
+      config_.ingest_threads > 0
+          ? config_.ingest_threads
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  engine.set_ingest_threads(ingest_threads);
   exec::QueryEngine query_engine(config_.engine_params);
 
   core::StaircaseConfig stair_cfg;

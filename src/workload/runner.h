@@ -36,6 +36,11 @@ struct RunnerConfig {
   int max_nodes = 8;           // Capacity-trigger testbed size.
   int staircase_samples = 4;   // s, for the staircase policy.
   int staircase_plan_ahead = 3;  // p, for the staircase policy.
+  /// Worker threads for the chunk-parallel ingest/placement fast path
+  /// (per-chunk placement state is precomputed in parallel and merged in
+  /// order; all placement decisions remain sequential and deterministic).
+  /// 1 = fully sequential; 0 = use the hardware concurrency.
+  int ingest_threads = 1;
   cluster::CostParams cost_params;
   exec::EngineParams engine_params;
   bool run_queries = true;

@@ -40,14 +40,14 @@ TEST(FilterTest, BoxSelectsExactCells) {
   CellBox box{{2, 3}, {4, 5}};
   const auto cells = FilterBox(a, box);
   EXPECT_EQ(cells.size(), 9u);  // 3 x 3 box.
-  for (const auto* cell : cells) {
-    EXPECT_GE(cell->pos[0], 2);
-    EXPECT_LE(cell->pos[0], 4);
-    EXPECT_GE(cell->pos[1], 3);
-    EXPECT_LE(cell->pos[1], 5);
+  for (const auto& cell : cells) {
+    EXPECT_GE(cell.pos[0], 2);
+    EXPECT_LE(cell.pos[0], 4);
+    EXPECT_GE(cell.pos[1], 3);
+    EXPECT_LE(cell.pos[1], 5);
   }
   // Sorted by position; first is (2,3) with value 23.
-  EXPECT_DOUBLE_EQ(cells[0]->values[0], 23.0);
+  EXPECT_DOUBLE_EQ(cells[0].values[0], 23.0);
 }
 
 TEST(FilterTest, EmptyBoxYieldsNothing) {
@@ -235,7 +235,7 @@ TEST(RegridTest, CoarsensCountsAndSums) {
   // Each coarse cell aggregates 16 fine cells.
   const auto cells = coarse->AllCells();
   double total_count = 0.0;
-  for (const auto* cell : cells) total_count += cell->values[1];
+  for (const auto& cell : cells) total_count += cell.values[1];
   EXPECT_DOUBLE_EQ(total_count, 64.0);
 }
 
