@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Benchmark trend gate: compare fresh BENCH_*.json against committed baselines.
+
+For every baseline file under --baseline-dir, the same-named fresh file under
+--fresh-dir is checked and the build fails on a >tolerance (default 20%)
+regression.
+
+Two kinds of values are compared, with different tolerances:
+
+  * top-level summary metrics (``--metrics-tolerance``, default 20%): these
+    are machine-independent — simulated minutes and speedup ratios computed
+    by deterministic models — so a tight gate is reliable. Direction is
+    inferred from the name: metrics containing ``speedup`` or ``saved`` or
+    ending in ``_x`` are gains and must not drop; otherwise metrics ending
+    in ``_minutes``, ``_ns`` or ``_ns_per_op`` are costs and must not grow.
+    Other metrics (counts like ``reorg_increments``) are informational only.
+  * per-benchmark ``ns_per_op`` entries (``--entries-tolerance``, default
+    100%): wall-clock micro timings. Absolute nanoseconds differ between
+    the baseline machine and the CI runner, so raw ratios are normalized by
+    the file's median fresh/baseline ratio first — a uniformly slower
+    machine passes while a benchmark that regressed relative to its
+    siblings fails. Even same-machine smoke runs (``--benchmark_min_time=
+    0.05``) show up to ~70% per-entry noise, hence the loose default: this
+    arm only catches gross regressions (a dropped fast path, a debug
+    build); the tight trend gate lives in the deterministic metrics above.
+
+Refresh a baseline by copying the freshly emitted file over
+``bench/baselines/`` and committing it alongside the change that moved it.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    with path.open() as f:
+        return json.load(f)
+
+
+def check_entries(name: str, base: dict, fresh: dict, tol: float) -> list:
+    failures = []
+    base_by_name = {e["name"]: e for e in base.get("benchmarks", [])}
+    fresh_by_name = {e["name"]: e for e in fresh.get("benchmarks", [])}
+    missing = sorted(set(base_by_name) - set(fresh_by_name))
+    for m in missing:
+        failures.append(f"{name}: benchmark '{m}' missing from fresh run")
+    shared = sorted(set(base_by_name) & set(fresh_by_name))
+    ratios = {}
+    for n in shared:
+        b = base_by_name[n]["ns_per_op"]
+        f = fresh_by_name[n]["ns_per_op"]
+        if b > 0 and f > 0:
+            ratios[n] = f / b
+    if not ratios:
+        return failures
+    med = statistics.median(ratios.values())
+    if med <= 0:
+        med = 1.0
+    for n, r in sorted(ratios.items()):
+        normalized = r / med
+        if normalized > 1.0 + tol:
+            failures.append(
+                f"{name}: '{n}' regressed {100 * (normalized - 1):.1f}% "
+                f"(machine-normalized; raw {ratios[n]:.3f}x, file median "
+                f"{med:.3f}x)"
+            )
+    return failures
+
+
+def check_metrics(name: str, base: dict, fresh: dict, tol: float) -> list:
+    failures = []
+    for key, bval in base.items():
+        if key == "benchmarks" or not isinstance(bval, (int, float)):
+            continue
+        if key not in fresh:
+            failures.append(f"{name}: metric '{key}' missing from fresh run")
+            continue
+        fval = fresh[key]
+        if not isinstance(fval, (int, float)) or bval <= 0:
+            continue
+        higher_better = ("speedup" in key or "saved" in key
+                         or key.endswith("_x"))
+        lower_better = not higher_better and key.endswith(
+            ("_minutes", "_ns", "_ns_per_op"))
+        if higher_better and fval < bval * (1.0 - tol):
+            failures.append(
+                f"{name}: metric '{key}' dropped {100 * (1 - fval / bval):.1f}% "
+                f"({bval:.4g} -> {fval:.4g})"
+            )
+        elif lower_better and fval > bval * (1.0 + tol):
+            failures.append(
+                f"{name}: metric '{key}' grew {100 * (fval / bval - 1):.1f}% "
+                f"({bval:.4g} -> {fval:.4g})"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", type=Path, required=True)
+    parser.add_argument("--fresh-dir", type=Path, required=True)
+    parser.add_argument(
+        "--metrics-tolerance", type=float, default=0.20,
+        help="allowed regression of deterministic summary metrics "
+             "(default 0.20 = 20%%)")
+    parser.add_argument(
+        "--entries-tolerance", type=float, default=1.00,
+        help="allowed machine-normalized regression of wall-clock "
+             "ns_per_op entries (default 1.00 = 100%%; these are noisy)")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}")
+        return 1
+
+    failures = []
+    checked = 0
+    for baseline_path in baselines:
+        fresh_path = args.fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            failures.append(
+                f"{baseline_path.name}: fresh artifact not found in "
+                f"{args.fresh_dir} (bench not run?)")
+            continue
+        base = load(baseline_path)
+        fresh = load(fresh_path)
+        failures += check_entries(baseline_path.name, base, fresh,
+                                  args.entries_tolerance)
+        failures += check_metrics(baseline_path.name, base, fresh,
+                                  args.metrics_tolerance)
+        checked += 1
+        print(f"checked {baseline_path.name}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s) beyond tolerance "
+              f"(metrics {args.metrics_tolerance:.0%}, entries "
+              f"{args.entries_tolerance:.0%}):")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(f"\nOK: {checked} benchmark file(s) within tolerance (metrics "
+          f"{args.metrics_tolerance:.0%}, entries "
+          f"{args.entries_tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,8 +47,7 @@ util::Status Cluster::PlaceChunk(const array::Coordinates& coords,
   return util::Status::Ok();
 }
 
-util::Status Cluster::Apply(const MovePlan& plan) {
-  // Validate the whole plan before mutating anything.
+util::Status Cluster::ValidatePlan(const MovePlan& plan) const {
   for (const auto& m : plan.moves()) {
     const auto it = chunk_map_.find(m.coords);
     if (it == chunk_map_.end()) {
@@ -70,6 +69,16 @@ util::Status Cluster::Apply(const MovePlan& plan) {
           util::StrFormat("move to unknown node %d", m.to));
     }
   }
+  return util::Status::Ok();
+}
+
+util::Status Cluster::Apply(const MovePlan& plan) {
+  if (reorg_active()) {
+    return util::FailedPrecondition(
+        "atomic Apply while an incremental reorganization is active");
+  }
+  // Validate the whole plan before mutating anything.
+  if (auto status = ValidatePlan(plan); !status.ok()) return status;
   for (const auto& m : plan.moves()) {
     auto& rec = chunk_map_.at(m.coords);
     node_bytes_[static_cast<size_t>(rec.node)] -= rec.bytes;
@@ -79,6 +88,115 @@ util::Status Cluster::Apply(const MovePlan& plan) {
     node_chunks_[static_cast<size_t>(m.to)] += 1;
   }
   return util::Status::Ok();
+}
+
+util::Status Cluster::BeginApply(const MovePlan& plan) {
+  if (reorg_active()) {
+    return util::FailedPrecondition(
+        "incremental reorganization already active");
+  }
+  if (auto status = ValidatePlan(plan); !status.ok()) return status;
+  if (plan.empty()) return util::Status::Ok();
+  pending_moves_ = plan.moves();
+  pending_cursor_ = 0;
+  in_flight_end_ = 0;
+  source_replicas_.reserve(pending_moves_.size());
+  for (const auto& m : pending_moves_) {
+    // A plan never names the same chunk twice (validated owners would
+    // mismatch); record each source residency.
+    source_replicas_.emplace(m.coords, m.from);
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<MovePlan> Cluster::AdvanceIncrement(int64_t budget_bytes) {
+  if (!reorg_active()) {
+    return util::FailedPrecondition("no active reorganization");
+  }
+  if (increment_in_flight()) {
+    return util::FailedPrecondition("an increment is already in flight");
+  }
+  if (pending_cursor_ >= pending_moves_.size()) {
+    return util::FailedPrecondition(
+        "all moves committed; call FinishApply to release");
+  }
+  MovePlan slice;
+  int64_t taken = 0;
+  size_t j = pending_cursor_;
+  while (j < pending_moves_.size()) {
+    const auto& m = pending_moves_[j];
+    if (j > pending_cursor_ && taken + m.bytes > budget_bytes) break;
+    taken += m.bytes;
+    slice.Add(m);
+    ++j;
+  }
+  in_flight_end_ = j;
+  return slice;
+}
+
+util::Status Cluster::CommitIncrement() {
+  if (!increment_in_flight()) {
+    return util::FailedPrecondition("no increment in flight");
+  }
+  for (size_t i = pending_cursor_; i < in_flight_end_; ++i) {
+    const auto& m = pending_moves_[i];
+    auto& rec = chunk_map_.at(m.coords);
+    node_bytes_[static_cast<size_t>(rec.node)] -= rec.bytes;
+    node_chunks_[static_cast<size_t>(rec.node)] -= 1;
+    rec.node = m.to;
+    node_bytes_[static_cast<size_t>(m.to)] += rec.bytes;
+    node_chunks_[static_cast<size_t>(m.to)] += 1;
+  }
+  pending_cursor_ = in_flight_end_;
+  ++reorg_epoch_;
+  return util::Status::Ok();
+}
+
+util::Status Cluster::FinishApply() {
+  if (!reorg_active()) {
+    return util::FailedPrecondition("no active reorganization");
+  }
+  if (increment_in_flight() || pending_cursor_ < pending_moves_.size()) {
+    return util::FailedPrecondition(
+        "reorganization has uncommitted moves");
+  }
+  pending_moves_.clear();
+  pending_cursor_ = 0;
+  in_flight_end_ = 0;
+  source_replicas_.clear();
+  ++reorg_epoch_;
+  return util::Status::Ok();
+}
+
+void Cluster::AbortReorg() {
+  if (!reorg_active()) return;
+  pending_moves_.clear();
+  pending_cursor_ = 0;
+  in_flight_end_ = 0;
+  source_replicas_.clear();
+  ++reorg_epoch_;
+}
+
+NodeId Cluster::SourceReplicaOf(const array::Coordinates& coords) const {
+  const auto it = source_replicas_.find(coords);
+  return it == source_replicas_.end() ? kInvalidNode : it->second;
+}
+
+bool Cluster::Lookup(const array::Coordinates& coords, NodeId* node,
+                     int64_t* bytes) const {
+  const auto it = chunk_map_.find(coords);
+  if (it == chunk_map_.end()) return false;
+  *node = it->second.node;
+  *bytes = it->second.bytes;
+  return true;
+}
+
+void Cluster::ForEachChunk(
+    const std::function<void(const array::Coordinates&, NodeId, int64_t)>& fn)
+    const {
+  for (const auto& [coords, rec] : chunk_map_) {
+    fn(coords, rec.node, rec.bytes);
+  }
 }
 
 NodeId Cluster::OwnerOf(const array::Coordinates& coords) const {

@@ -6,6 +6,16 @@
 // Cluster validates and applies them. Nodes are homogeneous with a fixed
 // per-node storage capacity (the paper's c), and the node set only ever
 // grows — scientific databases are monotonic (§1).
+//
+// A MovePlan is realized either atomically (Apply) or incrementally
+// (BeginApply / AdvanceIncrement / CommitIncrement / FinishApply): the plan
+// is staged, sliced into byte-budgeted increments, and each increment is
+// copied then flipped while the cluster keeps serving reads. Until
+// FinishApply releases the reorganization, every chunk covered by the plan
+// retains a readable replica at its *source* node (dual residency); the
+// query-routing snapshot (SourceReplicaOf, consumed by
+// reorg::DualResidencyView) pins reads to that source residency so results
+// are independent of how far the migration has progressed.
 
 #ifndef ARRAYDB_CLUSTER_CLUSTER_H_
 #define ARRAYDB_CLUSTER_CLUSTER_H_
@@ -16,6 +26,7 @@
 
 #include "array/chunk.h"
 #include "array/coordinates.h"
+#include "cluster/placement_view.h"
 #include "cluster/transfer.h"
 #include "util/status.h"
 
@@ -28,12 +39,14 @@ struct ChunkRecord {
   NodeId node = kInvalidNode;
 };
 
-class Cluster {
+class Cluster : public PlacementView {
  public:
   /// Creates `initial_nodes` empty nodes of `node_capacity_gb` each.
   Cluster(int initial_nodes, double node_capacity_gb);
 
-  int num_nodes() const { return static_cast<int>(node_bytes_.size()); }
+  int num_nodes() const override {
+    return static_cast<int>(node_bytes_.size());
+  }
   double node_capacity_gb() const { return node_capacity_gb_; }
 
   /// Total provisioned capacity in GB (N * c).
@@ -47,11 +60,75 @@ class Cluster {
   util::Status PlaceChunk(const array::Coordinates& coords, int64_t bytes,
                           NodeId node);
 
-  /// Applies a move plan; every move must name the chunk's current owner.
+  /// Applies a move plan atomically; every move must name the chunk's
+  /// current owner. Fails while an incremental reorganization is active.
   util::Status Apply(const MovePlan& plan);
 
-  /// Owner of a chunk, or kInvalidNode if the chunk is not stored.
-  NodeId OwnerOf(const array::Coordinates& coords) const;
+  // -- Incremental application (copy-then-flip) -----------------------------
+  //
+  // BeginApply validates and stages a whole plan without moving anything.
+  // AdvanceIncrement carves the next byte-budgeted slice and marks it in
+  // flight (the copy phase: data lands at the destination while the source
+  // replica keeps serving reads). CommitIncrement flips authoritative
+  // ownership of the in-flight slice — per-node byte/chunk accounting and
+  // OwnerOf reflect the flip immediately. FinishApply, callable once every
+  // move has committed, releases the reorganization: source replicas are
+  // dropped and the query-routing epoch advances. AbortReorg discards all
+  // uncommitted work (committed increments stay committed).
+
+  /// Stages `plan` for incremental application. Runs the same validation as
+  /// Apply; fails if a reorganization is already active. An empty plan is a
+  /// no-op that leaves the cluster idle.
+  util::Status BeginApply(const MovePlan& plan);
+
+  /// Carves the next increment: pending moves are taken in plan order until
+  /// the cumulative size would exceed `budget_bytes` (always at least one
+  /// move). Returns the slice for pricing/validation. Fails when no
+  /// reorganization is active, an increment is already in flight, or all
+  /// moves have committed.
+  util::StatusOr<MovePlan> AdvanceIncrement(int64_t budget_bytes);
+
+  /// Flips ownership of the in-flight increment.
+  util::Status CommitIncrement();
+
+  /// Releases a fully committed reorganization (drops source replicas,
+  /// advances the routing epoch). Fails while moves remain uncommitted.
+  util::Status FinishApply();
+
+  /// Drops any staged/uncommitted reorganization state. Idempotent.
+  void AbortReorg();
+
+  /// True between BeginApply (of a non-empty plan) and FinishApply/Abort.
+  bool reorg_active() const { return !pending_moves_.empty(); }
+
+  /// True between AdvanceIncrement and CommitIncrement.
+  bool increment_in_flight() const { return in_flight_end_ > pending_cursor_; }
+
+  /// Moves staged but not yet committed.
+  int64_t pending_reorg_chunks() const {
+    return static_cast<int64_t>(pending_moves_.size() - pending_cursor_);
+  }
+
+  /// Source node of the retained read replica for a chunk covered by the
+  /// active reorganization, or kInvalidNode when the chunk is not dual
+  /// resident. This is the routing snapshot queries pin to mid-reorg.
+  NodeId SourceReplicaOf(const array::Coordinates& coords) const;
+
+  /// Monotone counter bumped on every commit and on reorg release; lets
+  /// cached views detect staleness.
+  uint64_t reorg_epoch() const { return reorg_epoch_; }
+
+  /// Owner of a chunk, or kInvalidNode if the chunk is not stored. During an
+  /// incremental reorganization this is the *authoritative* owner (flipped
+  /// per increment); query routing goes through SourceReplicaOf instead.
+  NodeId OwnerOf(const array::Coordinates& coords) const override;
+
+  // PlacementView: routed lookups against the committed state.
+  bool Lookup(const array::Coordinates& coords, NodeId* node,
+              int64_t* bytes) const override;
+  void ForEachChunk(
+      const std::function<void(const array::Coordinates&, NodeId, int64_t)>&
+          fn) const override;
 
   /// True if a chunk with these coordinates is stored.
   bool Contains(const array::Coordinates& coords) const;
@@ -89,12 +166,24 @@ class Cluster {
   }
 
  private:
+  util::Status ValidatePlan(const MovePlan& plan) const;
+
   double node_capacity_gb_;
   std::vector<int64_t> node_bytes_;
   std::vector<int64_t> node_chunks_;
   std::unordered_map<array::Coordinates, ChunkRecord, array::CoordinatesHash>
       chunk_map_;
   int64_t total_bytes_ = 0;
+
+  // Incremental-reorg staging: the plan's moves in order, a cursor to the
+  // first uncommitted move, the in-flight slice [pending_cursor_,
+  // in_flight_end_), and the retained source replicas for routing.
+  std::vector<ChunkMove> pending_moves_;
+  size_t pending_cursor_ = 0;
+  size_t in_flight_end_ = 0;
+  std::unordered_map<array::Coordinates, NodeId, array::CoordinatesHash>
+      source_replicas_;
+  uint64_t reorg_epoch_ = 0;
 };
 
 }  // namespace arraydb::cluster

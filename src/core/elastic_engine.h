@@ -33,6 +33,16 @@ struct ReorgStats {
   bool only_to_new_nodes = true;
 };
 
+/// A scale-out staged but not yet applied: the nodes have been added and the
+/// partitioner has produced its repartitioning plan. The caller realizes the
+/// plan either atomically (Cluster::Apply) or incrementally through a
+/// reorg::IncrementalReorgEngine.
+struct ScaleOutPrep {
+  cluster::MovePlan plan;
+  cluster::NodeId first_new_node = cluster::kInvalidNode;
+  int nodes_added = 0;
+};
+
 class ElasticEngine {
  public:
   ElasticEngine(std::unique_ptr<Partitioner> partitioner, int initial_nodes,
@@ -42,8 +52,10 @@ class ElasticEngine {
   /// Number of worker threads the ingest path may use for the partitioner's
   /// placement prewarm (chunk-parallel rank computation). Placement
   /// decisions themselves stay sequential, so results are identical for
-  /// every thread count. Default 1 (fully sequential).
-  void set_ingest_threads(int threads) { ingest_threads_ = threads; }
+  /// every thread count. Default 1 (fully sequential); 0 = auto — resolved
+  /// immediately through util::ResolveThreadCount, so ingest_threads()
+  /// always reports the effective worker count.
+  void set_ingest_threads(int threads);
   int ingest_threads() const { return ingest_threads_; }
 
   /// Ingests one batch: the coordinator (node 0) routes each chunk through
@@ -53,10 +65,21 @@ class ElasticEngine {
   InsertStats IngestBatch(const std::vector<array::ChunkInfo>& batch);
 
   /// Adds `nodes_to_add` empty nodes, asks the partitioner for a
-  /// repartitioning plan, applies it, and prices the reorganization.
+  /// repartitioning plan, applies it atomically, and prices the
+  /// reorganization (the legacy blocking path).
   ReorgStats ScaleOut(int nodes_to_add);
 
+  /// Adds `nodes_to_add` empty nodes and returns the partitioner's plan
+  /// *without* applying it, for incremental execution by the caller.
+  ScaleOutPrep PrepareScaleOut(int nodes_to_add);
+
+  /// Charges reorganization minutes executed outside ScaleOut (the
+  /// incremental path), keeping total_reorg_minutes() consistent.
+  void RecordReorgMinutes(double minutes) { total_reorg_minutes_ += minutes; }
+
   const cluster::Cluster& cluster() const { return cluster_; }
+  /// Mutable substrate access for the incremental reorg driver.
+  cluster::Cluster& mutable_cluster() { return cluster_; }
   Partitioner& partitioner() { return *partitioner_; }
   const Partitioner& partitioner() const { return *partitioner_; }
   const cluster::CostModel& cost_model() const { return cost_model_; }

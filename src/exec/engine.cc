@@ -48,24 +48,29 @@ void ForEachRingNeighbor(const array::Coordinates& coords, Fn&& fn) {
 }  // namespace
 
 QueryCost QueryEngine::Simulate(const QuerySpec& spec,
-                                const cluster::Cluster& cluster,
+                                const cluster::PlacementView& placement,
                                 const array::ArraySchema& schema) const {
   (void)schema;
   QueryCost cost;
   cost.minutes = params_.startup_minutes;
 
-  // Gather the chunks this query touches, in deterministic order.
+  // Gather the chunks this query touches, with their routed owners, in
+  // deterministic order.
   std::vector<cluster::ChunkRecord> relevant;
-  for (const auto& [coords, rec] : cluster.chunk_map()) {
-    if (spec.region.Contains(coords)) relevant.push_back(rec);
-  }
+  placement.ForEachChunk([&spec, &relevant](const array::Coordinates& coords,
+                                            cluster::NodeId node,
+                                            int64_t bytes) {
+    if (spec.region.Contains(coords)) {
+      relevant.push_back(cluster::ChunkRecord{coords, bytes, node});
+    }
+  });
   if (relevant.empty()) return cost;
   std::sort(relevant.begin(), relevant.end(),
             [](const cluster::ChunkRecord& a, const cluster::ChunkRecord& b) {
               return array::CoordinatesLess(a.coords, b.coords);
             });
 
-  const int num_nodes = cluster.num_nodes();
+  const int num_nodes = placement.num_nodes();
   std::vector<double> node_minutes(static_cast<size_t>(num_nodes), 0.0);
 
   // Dimension joins read two vertically partitioned inputs at the same
@@ -121,12 +126,13 @@ QueryCost QueryEngine::Simulate(const QuerySpec& spec,
       std::set<std::pair<cluster::NodeId, array::Coordinates>> fetched;
       for (const auto& rec : relevant) {
         ForEachFaceNeighbor(rec.coords, [&](const array::Coordinates& nb) {
-          const auto it = cluster.chunk_map().find(nb);
-          if (it == cluster.chunk_map().end()) return;
-          if (it->second.node == rec.node) return;
+          cluster::NodeId nb_node = cluster::kInvalidNode;
+          int64_t nb_bytes = 0;
+          if (!placement.Lookup(nb, &nb_node, &nb_bytes)) return;
+          if (nb_node == rec.node) return;
           if (!fetched.emplace(rec.node, nb).second) return;
           const double nb_gb =
-              util::BytesToGb(static_cast<double>(it->second.bytes));
+              util::BytesToGb(static_cast<double>(nb_bytes));
           node_minutes[static_cast<size_t>(rec.node)] +=
               spec.halo_fraction * nb_gb * params_.net_min_per_gb +
               params_.remote_fetch_minutes;
@@ -164,12 +170,13 @@ QueryCost QueryEngine::Simulate(const QuerySpec& spec,
           ++cost.chunks_touched;
         }
         ForEachRingNeighbor(rec.coords, [&](const array::Coordinates& nb) {
-          const auto it = cluster.chunk_map().find(nb);
-          if (it == cluster.chunk_map().end()) return;
-          if (it->second.node == rec.node) return;
+          cluster::NodeId nb_node = cluster::kInvalidNode;
+          int64_t nb_bytes = 0;
+          if (!placement.Lookup(nb, &nb_node, &nb_bytes)) return;
+          if (nb_node == rec.node) return;
           if (!fetched.emplace(rec.node, nb).second) return;
           const double nb_gb =
-              util::BytesToGb(static_cast<double>(it->second.bytes));
+              util::BytesToGb(static_cast<double>(nb_bytes));
           node_minutes[static_cast<size_t>(rec.node)] +=
               spec.halo_fraction * nb_gb * params_.net_min_per_gb +
               params_.remote_fetch_minutes;

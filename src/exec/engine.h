@@ -1,13 +1,18 @@
 // Distributed query timing at paper scale.
 //
-// The engine prices a QuerySpec against a concrete cluster placement. The
-// model captures exactly the effects the paper's evaluation turns on:
+// The engine prices a QuerySpec against a concrete placement. The model
+// captures exactly the effects the paper's evaluation turns on:
 //   * makespan — elapsed time is the maximum over nodes of local scan + CPU
 //     work, so storage balance buys parallelism (§6.2.2, SPJ results);
 //   * n-dimensional clustering — window and kNN operators exchange halos
 //     with face-adjacent chunks, paying network cost whenever a neighbor
 //     lives on a different node (§6.2.2, science analytics);
 //   * coordinator merges and broadcasts for sorts and replicated joins.
+//
+// Placement is consumed through cluster::PlacementView, so the same pricing
+// runs against a quiesced Cluster or a reorg::DualResidencyView of a cluster
+// with migration increments in flight — mid-reorg queries stay routed to
+// readable replicas and return results identical to a quiesced cluster.
 
 #ifndef ARRAYDB_EXEC_ENGINE_H_
 #define ARRAYDB_EXEC_ENGINE_H_
@@ -17,6 +22,7 @@
 
 #include "array/schema.h"
 #include "cluster/cluster.h"
+#include "cluster/placement_view.h"
 #include "exec/query.h"
 
 namespace arraydb::exec {
@@ -54,9 +60,11 @@ class QueryEngine {
 
   const EngineParams& params() const { return params_; }
 
-  /// Prices `spec` against the placement in `cluster` for an array with
-  /// `schema`. Deterministic for a given (spec, placement).
-  QueryCost Simulate(const QuerySpec& spec, const cluster::Cluster& cluster,
+  /// Prices `spec` against `placement` (a quiesced Cluster or a mid-reorg
+  /// DualResidencyView) for an array with `schema`. Deterministic for a
+  /// given (spec, placement).
+  QueryCost Simulate(const QuerySpec& spec,
+                     const cluster::PlacementView& placement,
                      const array::ArraySchema& schema) const;
 
  private:

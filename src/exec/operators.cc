@@ -27,20 +27,21 @@ bool CellBox::Intersects(const array::Coordinates& box_lo,
   return true;
 }
 
-std::vector<array::Cell> FilterBox(const array::Array& array,
-                                   const CellBox& box) {
-  std::vector<array::Cell> out;
+FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box) {
+  FilterBoxView view;
   const size_t ndims = box.lo.size();
-  // Sorted chunk order + stable sort keeps duplicate positions in a
-  // deterministic relative order.
   for (const array::Chunk* chunk_ptr : array.SortedChunks()) {
     const array::Chunk& chunk = *chunk_ptr;
     if (chunk.num_cells() == 0) continue;
     // Chunk pruning: the maintained bounding box over stored cells is at
     // least as tight as the chunk's schema extent.
     if (!box.Intersects(chunk.bbox_lo(), chunk.bbox_hi())) continue;
+    FilterBoxView::ChunkSpans cs;
+    cs.chunk = &chunk;
     const int64_t* pos = chunk.packed_coords().data();
     const size_t count = chunk.num_cells();
+    uint32_t run_begin = 0;
+    bool in_run = false;
     for (size_t i = 0; i < count; ++i, pos += ndims) {
       bool inside = true;
       for (size_t d = 0; d < ndims; ++d) {
@@ -49,14 +50,42 @@ std::vector<array::Cell> FilterBox(const array::Array& array,
           break;
         }
       }
-      if (inside) out.push_back(chunk.MaterializeCell(i));
+      if (inside && !in_run) {
+        run_begin = static_cast<uint32_t>(i);
+        in_run = true;
+      } else if (!inside && in_run) {
+        cs.spans.emplace_back(run_begin, static_cast<uint32_t>(i));
+        in_run = false;
+      }
     }
+    if (in_run) cs.spans.emplace_back(run_begin, static_cast<uint32_t>(count));
+    if (cs.spans.empty()) continue;
+    for (const auto& [begin, end] : cs.spans) {
+      view.num_cells_ += end - begin;
+    }
+    view.chunks_.push_back(std::move(cs));
   }
+  return view;
+}
+
+std::vector<array::Cell> FilterBoxView::Materialize() const {
+  std::vector<array::Cell> out;
+  out.reserve(static_cast<size_t>(num_cells_));
+  // Sorted chunk order (by construction) + stable sort keeps duplicate
+  // positions in a deterministic relative order.
+  ForEachCell([&out](const array::Chunk& chunk, size_t i) {
+    out.push_back(chunk.MaterializeCell(i));
+  });
   std::stable_sort(out.begin(), out.end(),
                    [](const array::Cell& a, const array::Cell& b) {
                      return array::CoordinatesLess(a.pos, b.pos);
                    });
   return out;
+}
+
+std::vector<array::Cell> FilterBox(const array::Array& array,
+                                   const CellBox& box) {
+  return FilterBoxSpans(array, box).Materialize();
 }
 
 util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,

@@ -30,9 +30,56 @@ struct CellBox {
                   const array::Coordinates& box_hi) const;
 };
 
-/// Selection: all cells inside `box`, sorted by position. Whole chunks are
-/// pruned via their bounding boxes; surviving chunks are scanned linearly
-/// in columnar order.
+/// Span-based selection result: for each surviving chunk, the maximal runs
+/// of consecutive matching cell indices. Large selections stay
+/// allocation-free at the API boundary — no Cell values are materialized;
+/// consumers iterate the spans against the chunks' columnar storage.
+/// Holds pointers into `array`: valid only while the array outlives the
+/// view unmodified.
+class FilterBoxView {
+ public:
+  struct ChunkSpans {
+    const array::Chunk* chunk = nullptr;
+    /// Half-open [begin, end) runs of matching cell indices, ascending.
+    std::vector<std::pair<uint32_t, uint32_t>> spans;
+  };
+
+  /// Surviving chunks in lexicographic coordinate order.
+  const std::vector<ChunkSpans>& chunks() const { return chunks_; }
+  int64_t num_cells() const { return num_cells_; }
+  bool empty() const { return num_cells_ == 0; }
+
+  /// Invokes fn(chunk, cell_index) for every selected cell — chunks in
+  /// lexicographic order, cells in insertion order within a chunk.
+  template <typename Fn>
+  void ForEachCell(Fn&& fn) const {
+    for (const auto& cs : chunks_) {
+      for (const auto& [begin, end] : cs.spans) {
+        for (uint32_t i = begin; i < end; ++i) {
+          fn(*cs.chunk, static_cast<size_t>(i));
+        }
+      }
+    }
+  }
+
+  /// Cell adapter for callers that need materialized values; sorted by
+  /// position, identical to the legacy FilterBox result.
+  std::vector<array::Cell> Materialize() const;
+
+ private:
+  friend FilterBoxView FilterBoxSpans(const array::Array& array,
+                                      const CellBox& box);
+  std::vector<ChunkSpans> chunks_;
+  int64_t num_cells_ = 0;
+};
+
+/// Selection without materialization: spans of matching cells per chunk.
+/// Whole chunks are pruned via their bounding boxes; surviving chunks are
+/// scanned linearly in columnar order.
+FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box);
+
+/// Selection: all cells inside `box`, sorted by position. Thin adapter over
+/// FilterBoxSpans for callers that want value results.
 std::vector<array::Cell> FilterBox(const array::Array& array,
                                    const CellBox& box);
 

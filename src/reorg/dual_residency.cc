@@ -1,0 +1,30 @@
+#include "reorg/dual_residency.h"
+
+namespace arraydb::reorg {
+
+cluster::NodeId DualResidencyView::OwnerOf(
+    const array::Coordinates& coords) const {
+  const cluster::NodeId source = cluster_->SourceReplicaOf(coords);
+  if (source != cluster::kInvalidNode) return source;
+  return cluster_->OwnerOf(coords);
+}
+
+bool DualResidencyView::Lookup(const array::Coordinates& coords,
+                               cluster::NodeId* node, int64_t* bytes) const {
+  if (!cluster_->Lookup(coords, node, bytes)) return false;
+  const cluster::NodeId source = cluster_->SourceReplicaOf(coords);
+  if (source != cluster::kInvalidNode) *node = source;
+  return true;
+}
+
+void DualResidencyView::ForEachChunk(
+    const std::function<void(const array::Coordinates&, cluster::NodeId,
+                             int64_t)>& fn) const {
+  cluster_->ForEachChunk([this, &fn](const array::Coordinates& coords,
+                                     cluster::NodeId node, int64_t bytes) {
+    const cluster::NodeId source = cluster_->SourceReplicaOf(coords);
+    fn(coords, source != cluster::kInvalidNode ? source : node, bytes);
+  });
+}
+
+}  // namespace arraydb::reorg

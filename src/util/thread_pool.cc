@@ -48,9 +48,13 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool(
-      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  static ThreadPool pool(ResolveThreadCount(0));
   return pool;
+}
+
+int ResolveThreadCount(int configured) {
+  if (configured > 0) return configured;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
 
 void ParallelFor(int64_t n, int max_shards,

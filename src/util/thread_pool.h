@@ -54,6 +54,14 @@ class ThreadPool {
 void ParallelFor(int64_t n, int max_shards,
                  const std::function<void(int64_t, int64_t)>& body);
 
+/// The one place a configured thread-count knob is interpreted: a positive
+/// value is taken verbatim; zero (or negative) means "auto" and resolves to
+/// std::thread::hardware_concurrency(), clamped to at least 1 for platforms
+/// that report 0. Every consumer of a `* _threads` config field
+/// (RunnerConfig::ingest_threads, reorg::ReorgOptions::copy_threads,
+/// ElasticEngine::set_ingest_threads) resolves through this helper.
+int ResolveThreadCount(int configured);
+
 }  // namespace arraydb::util
 
 #endif  // ARRAYDB_UTIL_THREAD_POOL_H_

@@ -56,6 +56,58 @@ TEST(FilterTest, EmptyBoxYieldsNothing) {
   EXPECT_TRUE(FilterBox(a, outside).empty());
 }
 
+TEST(FilterTest, SpanViewMatchesMaterializedResult) {
+  const Array a = MakeGridArray();
+  CellBox box{{2, 3}, {4, 5}};
+  const FilterBoxView view = FilterBoxSpans(a, box);
+  EXPECT_EQ(view.num_cells(), 9);
+  EXPECT_FALSE(view.empty());
+  // The Cell adapter reproduces the legacy FilterBox result exactly.
+  const auto materialized = view.Materialize();
+  const auto legacy = FilterBox(a, box);
+  ASSERT_EQ(materialized.size(), legacy.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(materialized[i].pos, legacy[i].pos);
+    EXPECT_EQ(materialized[i].values, legacy[i].values);
+  }
+  // Span iteration reads columns without materializing Cells: the sum over
+  // the view equals the sum over the value results.
+  double view_sum = 0.0;
+  view.ForEachCell([&view_sum](const array::Chunk& chunk, size_t i) {
+    view_sum += chunk.attr_value(0, i);
+  });
+  double cell_sum = 0.0;
+  for (const auto& cell : legacy) cell_sum += cell.values[0];
+  EXPECT_DOUBLE_EQ(view_sum, cell_sum);
+}
+
+TEST(FilterTest, SpanViewCoalescesConsecutiveMatches) {
+  // 1-D array, one chunk, cells 0..7 in insertion order; box [2,5] is one
+  // contiguous run of four cells.
+  ArraySchema schema("s", {DimensionDesc{"x", 0, 7, 8, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array a(std::move(schema));
+  for (int64_t x = 0; x < 8; ++x) {
+    ASSERT_TRUE(a.InsertCell({x}, {static_cast<double>(x)}).ok());
+  }
+  const FilterBoxView view = FilterBoxSpans(a, CellBox{{2}, {5}});
+  ASSERT_EQ(view.chunks().size(), 1u);
+  ASSERT_EQ(view.chunks()[0].spans.size(), 1u);
+  EXPECT_EQ(view.chunks()[0].spans[0].first, 2u);
+  EXPECT_EQ(view.chunks()[0].spans[0].second, 6u);
+  EXPECT_EQ(view.num_cells(), 4);
+}
+
+TEST(FilterTest, SpanViewDropsFullyFilteredChunks) {
+  const Array a = MakeGridArray();
+  // Box covering a single cell: only that cell's chunk survives.
+  const FilterBoxView view = FilterBoxSpans(a, CellBox{{0, 0}, {0, 0}});
+  ASSERT_EQ(view.chunks().size(), 1u);
+  EXPECT_EQ(view.num_cells(), 1);
+  // Nothing matches: no chunk entries at all.
+  EXPECT_TRUE(FilterBoxSpans(a, CellBox{{20, 20}, {30, 30}}).chunks().empty());
+}
+
 TEST(FilterTest, PrunesByChunk) {
   // Sparse array: only one chunk occupied; box over another chunk.
   ArraySchema schema("s", {DimensionDesc{"x", 0, 99, 10, false}},

@@ -1,0 +1,257 @@
+// Determinism and equivalence tests for overlapped reorganization: queries
+// interleaved with background migration must return results bit-identical
+// to a fully quiesced cluster, and runner metrics must be bit-identical
+// across thread counts and increment sizes (the migration schedule itself —
+// the increment count — is the only schedule-dependent metric).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/elastic_engine.h"
+#include "core/partitioner_factory.h"
+#include "reorg/reorg_engine.h"
+#include "util/thread_pool.h"
+#include "workload/ais.h"
+#include "workload/modis.h"
+#include "workload/runner.h"
+
+namespace arraydb::workload {
+namespace {
+
+RunnerConfig BaseConfig(core::PartitionerKind kind, ReorgMode mode) {
+  RunnerConfig cfg;
+  cfg.partitioner = kind;
+  cfg.policy = ScaleOutPolicy::kCapacityTrigger;
+  cfg.initial_nodes = 2;
+  cfg.nodes_per_scaleout = 2;
+  cfg.max_nodes = 8;
+  cfg.reorg_mode = mode;
+  return cfg;
+}
+
+// Exact (bit-level) equality of everything except the increment count,
+// which is the schedule knob itself.
+void ExpectEquivalentModuloSchedule(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  EXPECT_EQ(a.total_insert_minutes, b.total_insert_minutes);
+  EXPECT_EQ(a.total_reorg_minutes, b.total_reorg_minutes);
+  EXPECT_EQ(a.total_spj_minutes, b.total_spj_minutes);
+  EXPECT_EQ(a.total_science_minutes, b.total_science_minutes);
+  EXPECT_EQ(a.total_overlap_saved_minutes, b.total_overlap_saved_minutes);
+  EXPECT_EQ(a.total_elapsed_minutes, b.total_elapsed_minutes);
+  EXPECT_EQ(a.mean_rsd, b.mean_rsd);
+  EXPECT_EQ(a.cost_node_hours, b.cost_node_hours);
+  EXPECT_EQ(a.final_nodes, b.final_nodes);
+  for (size_t i = 0; i < a.cycles.size(); ++i) {
+    const auto& ca = a.cycles[i];
+    const auto& cb = b.cycles[i];
+    EXPECT_EQ(ca.nodes_before, cb.nodes_before);
+    EXPECT_EQ(ca.nodes_after, cb.nodes_after);
+    EXPECT_EQ(ca.load_gb, cb.load_gb);
+    EXPECT_EQ(ca.insert_minutes, cb.insert_minutes);
+    EXPECT_EQ(ca.reorg_minutes, cb.reorg_minutes);
+    EXPECT_EQ(ca.spj_minutes, cb.spj_minutes);
+    EXPECT_EQ(ca.science_minutes, cb.science_minutes);
+    EXPECT_EQ(ca.rsd, cb.rsd);
+    EXPECT_EQ(ca.moved_gb, cb.moved_gb);
+    EXPECT_EQ(ca.chunks_moved, cb.chunks_moved);
+    EXPECT_EQ(ca.overlap_saved_minutes, cb.overlap_saved_minutes);
+    EXPECT_EQ(ca.elapsed_minutes, cb.elapsed_minutes);
+    ASSERT_EQ(ca.query_minutes.size(), cb.query_minutes.size());
+    for (size_t q = 0; q < ca.query_minutes.size(); ++q) {
+      EXPECT_EQ(ca.query_minutes[q].first, cb.query_minutes[q].first);
+      EXPECT_EQ(ca.query_minutes[q].second, cb.query_minutes[q].second);
+    }
+  }
+}
+
+TEST(ReorgEquivalenceTest, MidReorgQueriesMatchQuiescedCluster) {
+  // Two identical engines are driven to the same pre-scale-out state. Run A
+  // interleaves the benchmark queries with migration increments; run B
+  // defers the entire migration until after the queries (a fully quiesced
+  // cluster) and then applies the plan atomically. Query costs and final
+  // placement must be bit-identical.
+  AisWorkload ais;
+  const auto make_engine = [&ais]() {
+    core::ElasticEngine engine(
+        core::MakePartitioner(core::PartitionerKind::kHilbertCurve,
+                              ais.schema(), 2, ais.node_capacity_gb(),
+                              ais.growth_dim()),
+        2, ais.node_capacity_gb());
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      engine.IngestBatch(ais.GenerateBatch(cycle));
+    }
+    return engine;
+  };
+  core::ElasticEngine a = make_engine();
+  core::ElasticEngine b = make_engine();
+
+  const auto prep_a = a.PrepareScaleOut(2);
+  const auto prep_b = b.PrepareScaleOut(2);
+  ASSERT_FALSE(prep_a.plan.empty());
+  ASSERT_EQ(prep_a.plan.num_chunks(), prep_b.plan.num_chunks());
+
+  reorg::ReorgOptions opts;
+  opts.increment_gb = 1.0;  // Many small increments.
+  reorg::IncrementalReorgEngine bg(&a.mutable_cluster(), &a.cost_model(),
+                                   opts);
+  ASSERT_TRUE(bg.Begin(prep_a.plan, prep_a.first_new_node).ok());
+  ASSERT_TRUE(bg.active());
+
+  exec::QueryEngine qe;
+  const auto view = bg.View();
+  std::vector<exec::QuerySpec> queries = ais.SpjQueries(4);
+  for (const auto& q : ais.ScienceQueries(4)) queries.push_back(q);
+  for (const auto& q : queries) {
+    // Interleave: one migration increment between queries while any remain.
+    if (bg.pending_chunks() > 0) {
+      ASSERT_TRUE(bg.Step().ok());
+    }
+    const auto mid = qe.Simulate(q, view, ais.schema());
+    const auto quiesced = qe.Simulate(q, b.cluster(), ais.schema());
+    EXPECT_EQ(mid.minutes, quiesced.minutes) << q.name;
+    EXPECT_EQ(mid.makespan_minutes, quiesced.makespan_minutes) << q.name;
+    EXPECT_EQ(mid.network_minutes, quiesced.network_minutes) << q.name;
+    EXPECT_EQ(mid.scanned_gb, quiesced.scanned_gb) << q.name;
+    EXPECT_EQ(mid.chunks_touched, quiesced.chunks_touched) << q.name;
+    EXPECT_EQ(mid.remote_neighbor_fetches, quiesced.remote_neighbor_fetches)
+        << q.name;
+  }
+  ASSERT_TRUE(bg.Drain().ok());
+  ASSERT_TRUE(b.mutable_cluster().Apply(prep_b.plan).ok());
+
+  const auto chunks_a = a.cluster().AllChunks();
+  const auto chunks_b = b.cluster().AllChunks();
+  ASSERT_EQ(chunks_a.size(), chunks_b.size());
+  for (size_t i = 0; i < chunks_a.size(); ++i) {
+    EXPECT_EQ(chunks_a[i].node, chunks_b[i].node);
+    EXPECT_EQ(chunks_a[i].bytes, chunks_b[i].bytes);
+  }
+}
+
+TEST(ReorgEquivalenceTest, OverlappedRunDeterministicAcrossThreadsAndSizes) {
+  AisWorkload ais;
+  RunnerConfig base =
+      BaseConfig(core::PartitionerKind::kHilbertCurve, ReorgMode::kOverlapped);
+  std::vector<RunResult> results;
+  // Thread counts (including 0 = auto) and increment budgets from
+  // many-small-slices to one-shot must not change any metric but the
+  // increment count.
+  const struct {
+    int threads;
+    double increment_gb;
+  } variants[] = {{1, 0.5}, {4, 0.5}, {0, 0.5}, {1, 8.0}, {1, 1e9}};
+  for (const auto& v : variants) {
+    RunnerConfig cfg = base;
+    cfg.ingest_threads = v.threads;
+    cfg.reorg_increment_gb = v.increment_gb;
+    results.push_back(WorkloadRunner(cfg).Run(ais));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ExpectEquivalentModuloSchedule(results[0], results[i]);
+  }
+  // The single-increment variant really ran one increment per reorg cycle.
+  int reorg_cycles = 0;
+  for (const auto& m : results.back().cycles) {
+    if (m.chunks_moved > 0) {
+      ++reorg_cycles;
+      EXPECT_EQ(m.reorg_increments, 1);
+    }
+  }
+  EXPECT_GT(reorg_cycles, 0);
+  // The small-budget variant sliced more finely.
+  EXPECT_GT(results[0].total_reorg_increments,
+            results.back().total_reorg_increments);
+}
+
+TEST(ReorgEquivalenceTest, OverlappedMatchesBlockingPlacementAndWork) {
+  // Placement-side metrics (inserts, reorg work, balance, trajectory) are
+  // identical across modes; only the query phase observes a different — but
+  // internally consistent — routing epoch.
+  AisWorkload ais;
+  const auto blocking =
+      WorkloadRunner(
+          BaseConfig(core::PartitionerKind::kHilbertCurve, ReorgMode::kBlocking))
+          .Run(ais);
+  const auto incremental =
+      WorkloadRunner(BaseConfig(core::PartitionerKind::kHilbertCurve,
+                                ReorgMode::kIncremental))
+          .Run(ais);
+  const auto overlapped =
+      WorkloadRunner(BaseConfig(core::PartitionerKind::kHilbertCurve,
+                                ReorgMode::kOverlapped))
+          .Run(ais);
+  for (const auto* r : {&incremental, &overlapped}) {
+    ASSERT_EQ(r->cycles.size(), blocking.cycles.size());
+    EXPECT_EQ(r->total_insert_minutes, blocking.total_insert_minutes);
+    EXPECT_EQ(r->total_reorg_minutes, blocking.total_reorg_minutes);
+    EXPECT_EQ(r->final_nodes, blocking.final_nodes);
+    EXPECT_EQ(r->mean_rsd, blocking.mean_rsd);
+    for (size_t i = 0; i < r->cycles.size(); ++i) {
+      EXPECT_EQ(r->cycles[i].moved_gb, blocking.cycles[i].moved_gb);
+      EXPECT_EQ(r->cycles[i].chunks_moved, blocking.cycles[i].chunks_moved);
+      EXPECT_EQ(r->cycles[i].load_gb, blocking.cycles[i].load_gb);
+      EXPECT_EQ(r->cycles[i].rsd, blocking.cycles[i].rsd);
+      EXPECT_TRUE(r->cycles[i].reorg_only_to_new_nodes);
+    }
+  }
+  // Incremental mode keeps the serial schedule; overlap buys elapsed time.
+  // (NEAR, not EQ: the totals are accumulated in different summation
+  // orders.)
+  EXPECT_NEAR(incremental.total_elapsed_minutes,
+              incremental.total_workload_minutes(), 1e-9);
+  EXPECT_LT(overlapped.total_elapsed_minutes,
+            blocking.total_workload_minutes());
+  EXPECT_GT(overlapped.total_overlap_saved_minutes, 0.0);
+  EXPECT_NEAR(overlapped.total_elapsed_minutes,
+              overlapped.total_workload_minutes() -
+                  overlapped.total_overlap_saved_minutes,
+              1e-9);
+  // The moved-GB trajectory is mode-independent.
+  EXPECT_EQ(overlapped.MovedGbTrajectory(), blocking.MovedGbTrajectory());
+}
+
+TEST(ReorgEquivalenceTest, EmptyPlanWorkloadsRunOverlapped) {
+  // Append never moves data on scale-out: the overlapped machinery must
+  // degrade to a clean no-op (empty MovePlan edge case).
+  ModisWorkload modis;
+  const auto blocking =
+      WorkloadRunner(
+          BaseConfig(core::PartitionerKind::kAppend, ReorgMode::kBlocking))
+          .Run(modis);
+  const auto overlapped =
+      WorkloadRunner(
+          BaseConfig(core::PartitionerKind::kAppend, ReorgMode::kOverlapped))
+          .Run(modis);
+  ASSERT_EQ(overlapped.cycles.size(), blocking.cycles.size());
+  EXPECT_EQ(overlapped.total_reorg_increments, 0);
+  EXPECT_EQ(overlapped.total_overlap_saved_minutes, 0.0);
+  EXPECT_NEAR(overlapped.total_elapsed_minutes,
+              blocking.total_workload_minutes(), 1e-9);
+  for (size_t i = 0; i < overlapped.cycles.size(); ++i) {
+    EXPECT_EQ(overlapped.cycles[i].chunks_moved, 0);
+    EXPECT_EQ(overlapped.cycles[i].spj_minutes, blocking.cycles[i].spj_minutes);
+    EXPECT_EQ(overlapped.cycles[i].science_minutes,
+              blocking.cycles[i].science_minutes);
+  }
+}
+
+TEST(ReorgEquivalenceTest, IngestThreadsZeroResolvesToHardwareConcurrency) {
+  // The 0-means-auto knob is interpreted in exactly one place and surfaces
+  // through every consumer.
+  const int resolved = util::ResolveThreadCount(0);
+  EXPECT_GE(resolved, 1);
+  AisWorkload ais;
+  core::ElasticEngine engine(
+      core::MakePartitioner(core::PartitionerKind::kHilbertCurve, ais.schema(),
+                            2, ais.node_capacity_gb(), ais.growth_dim()),
+      2, ais.node_capacity_gb());
+  engine.set_ingest_threads(0);
+  EXPECT_EQ(engine.ingest_threads(), resolved);
+  engine.set_ingest_threads(3);
+  EXPECT_EQ(engine.ingest_threads(), 3);
+}
+
+}  // namespace
+}  // namespace arraydb::workload

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/hilbert_partitioner.h"
@@ -135,6 +137,19 @@ TEST(ParallelIngestTest, RunnerMetricsIdenticalAcrossThreadCounts) {
       EXPECT_EQ(b.chunks_moved, a.chunks_moved);
     }
   }
+}
+
+TEST(ResolveThreadCountTest, PositiveValuesPassThrough) {
+  EXPECT_EQ(util::ResolveThreadCount(1), 1);
+  EXPECT_EQ(util::ResolveThreadCount(7), 7);
+}
+
+TEST(ResolveThreadCountTest, ZeroAndNegativeResolveToHardwareConcurrency) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  EXPECT_EQ(util::ResolveThreadCount(0), hw);
+  EXPECT_EQ(util::ResolveThreadCount(-3), hw);
+  EXPECT_GE(util::ResolveThreadCount(0), 1);
 }
 
 }  // namespace
