@@ -14,6 +14,12 @@ Two kinds of values are compared, with different tolerances:
     ending in ``_x`` are gains and must not drop; otherwise metrics ending
     in ``_minutes``, ``_ns`` or ``_ns_per_op`` are costs and must not grow.
     Other metrics (counts like ``reorg_increments``) are informational only.
+    A baseline key ``floor_<metric>`` declares an absolute minimum: the
+    fresh run's ``<metric>`` must be >= the floor value, regardless of what
+    the baseline recorded for the metric itself. Use this for same-machine
+    ratios (e.g. ``floor_filter_simd_ratio``: the SIMD filter kernel must
+    stay at least 2x its scalar fallback) — the ratio is deterministic in
+    direction even though both absolute timings move with the machine.
   * per-benchmark ``ns_per_op`` entries (``--entries-tolerance``, default
     100%): wall-clock micro timings. Absolute nanoseconds differ between
     the baseline machine and the CI runner, so raw ratios are normalized by
@@ -74,6 +80,17 @@ def check_metrics(name: str, base: dict, fresh: dict, tol: float) -> list:
     failures = []
     for key, bval in base.items():
         if key == "benchmarks" or not isinstance(bval, (int, float)):
+            continue
+        if key.startswith("floor_"):
+            target = key[len("floor_"):]
+            fval = fresh.get(target)
+            if not isinstance(fval, (int, float)):
+                failures.append(
+                    f"{name}: floor target '{target}' missing from fresh run")
+            elif fval < bval:
+                failures.append(
+                    f"{name}: metric '{target}' = {fval:.4g} below required "
+                    f"floor {bval:.4g}")
             continue
         if key not in fresh:
             failures.append(f"{name}: metric '{key}' missing from fresh run")

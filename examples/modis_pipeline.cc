@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "array/cell_span.h"
 #include "exec/operators.h"
 #include "workload/modis.h"
 #include "workload/runner.h"
@@ -38,10 +39,15 @@ int main() {
     }
   }
 
-  // Complex projection benchmark: windowed average -> smooth image.
+  // Complex projection benchmark: windowed average -> smooth image. The
+  // span view reads the radiance column without materializing Cell values.
+  const array::CellSpanView band_view(band);
   const auto smoothed = exec::WindowAverageAll(band, 1, /*radius=*/1);
   double raw_mean = 0.0, smooth_mean = 0.0;
-  for (const auto& cell : band.AllCells()) raw_mean += cell.values[1];
+  band_view.ForEachCell(
+      [&raw_mean](const array::Chunk& chunk, size_t i, int64_t) {
+        raw_mean += chunk.attr_value(1, i);
+      });
   raw_mean /= static_cast<double>(band.total_cells());
   for (const auto& [pos, v] : smoothed) smooth_mean += v;
   smooth_mean /= static_cast<double>(smoothed.size());
@@ -59,11 +65,14 @@ int main() {
 
   // Modeling benchmark: k-means over (lon, lat, radiance) triples.
   std::vector<std::vector<double>> pixels;
-  for (const auto& cell : band.AllCells()) {
-    pixels.push_back({static_cast<double>(cell.pos[1]),
-                      static_cast<double>(cell.pos[2]),
-                      cell.values[1] / 10.0});
-  }
+  pixels.reserve(static_cast<size_t>(band_view.num_cells()));
+  band_view.ForEachCell(
+      [&pixels](const array::Chunk& chunk, size_t i, int64_t) {
+        const int64_t* pos = chunk.cell_pos(i);
+        pixels.push_back({static_cast<double>(pos[1]),
+                          static_cast<double>(pos[2]),
+                          chunk.attr_value(1, i) / 10.0});
+      });
   const auto clusters = exec::KMeans(pixels, /*k=*/4, /*max_iterations=*/25,
                                      /*seed=*/7);
   std::printf("k-means: %d iterations, inertia %.1f, centroids:",

@@ -1,0 +1,69 @@
+// CellSpanView: an allocation-free view over every materialized cell of an
+// Array, in the same deterministic order as Array::AllCells() — chunks in
+// lexicographic coordinate order, cells in insertion order within a chunk —
+// but without materializing Cell values. Whole-array consumers (quantile
+// gathers, kNN sampling) iterate the chunks' columnar storage through it
+// and index cells by a stable global position.
+//
+// Holds pointers into the array: valid only while the array outlives the
+// view unmodified.
+
+#ifndef ARRAYDB_ARRAY_CELL_SPAN_H_
+#define ARRAYDB_ARRAY_CELL_SPAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "array/array.h"
+#include "array/chunk.h"
+
+namespace arraydb::array {
+
+class CellSpanView {
+ public:
+  /// Views every materialized cell of `array` (synthetic metadata-only
+  /// chunks contribute nothing, matching AllCells()).
+  explicit CellSpanView(const Array& array);
+
+  /// Materialized cells covered by the view.
+  int64_t num_cells() const { return num_cells_; }
+  bool empty() const { return num_cells_ == 0; }
+
+  /// Non-empty chunks in lexicographic coordinate order.
+  const std::vector<const Chunk*>& chunks() const { return chunks_; }
+
+  struct Location {
+    const Chunk* chunk = nullptr;
+    size_t index = 0;  // Cell index within the chunk.
+  };
+
+  /// Maps a global cell index (AllCells order, in [0, num_cells())) to its
+  /// chunk and local cell index.
+  Location Locate(int64_t global_index) const;
+
+  /// Invokes fn(chunk, cell_index, global_index) for every cell in global
+  /// order.
+  template <typename Fn>
+  void ForEachCell(Fn&& fn) const {
+    int64_t global = 0;
+    for (const Chunk* chunk : chunks_) {
+      const size_t n = chunk->num_cells();
+      for (size_t i = 0; i < n; ++i, ++global) {
+        fn(*chunk, i, global);
+      }
+    }
+  }
+
+  /// Copies attribute `attr` of every cell into a single packed column, in
+  /// global order.
+  std::vector<double> GatherAttr(size_t attr) const;
+
+ private:
+  std::vector<const Chunk*> chunks_;
+  std::vector<int64_t> offsets_;  // Cumulative cell counts; size chunks_+1.
+  int64_t num_cells_ = 0;
+};
+
+}  // namespace arraydb::array
+
+#endif  // ARRAYDB_ARRAY_CELL_SPAN_H_

@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "array/cell_span.h"
+#include "simd/scan_kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -30,35 +32,42 @@ bool CellBox::Intersects(const array::Coordinates& box_lo,
 FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box) {
   FilterBoxView view;
   const size_t ndims = box.lo.size();
-  for (const array::Chunk* chunk_ptr : array.SortedChunks()) {
-    const array::Chunk& chunk = *chunk_ptr;
-    if (chunk.num_cells() == 0) continue;
-    // Chunk pruning: the maintained bounding box over stored cells is at
-    // least as tight as the chunk's schema extent.
-    if (!box.Intersects(chunk.bbox_lo(), chunk.bbox_hi())) continue;
+  ARRAYDB_CHECK_EQ(box.hi.size(), ndims);
+
+  std::vector<const array::Chunk*> chunks;
+  for (const array::Chunk* chunk : array.SortedChunks()) {
+    if (chunk->num_cells() == 0) continue;
+    ARRAYDB_CHECK_EQ(chunk->bbox_lo().size(), ndims);
+    chunks.push_back(chunk);
+  }
+  if (chunks.empty()) return view;
+
+  // Chunk pruning, batched: the maintained bounding boxes over stored cells
+  // (at least as tight as the schema extents) are packed into a dim-major
+  // SoA and intersected against the query box in one kernel call.
+  simd::BBoxSoA boxes;
+  boxes.Resize(chunks.size(), ndims);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    for (size_t d = 0; d < ndims; ++d) {
+      boxes.lo[d * chunks.size() + c] = chunks[c]->bbox_lo()[d];
+      boxes.hi[d * chunks.size() + c] = chunks[c]->bbox_hi()[d];
+    }
+  }
+  std::vector<uint8_t> survived(chunks.size());
+  simd::BBoxIntersectMask(boxes, box.lo.data(), box.hi.data(),
+                          survived.data());
+
+  std::vector<uint8_t> mask;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    if (survived[c] == 0) continue;
+    const array::Chunk& chunk = *chunks[c];
+    const size_t count = chunk.num_cells();
+    mask.resize(count);
+    simd::RangeMask(chunk.packed_coords().data(), count, ndims,
+                    box.lo.data(), box.hi.data(), mask.data());
     FilterBoxView::ChunkSpans cs;
     cs.chunk = &chunk;
-    const int64_t* pos = chunk.packed_coords().data();
-    const size_t count = chunk.num_cells();
-    uint32_t run_begin = 0;
-    bool in_run = false;
-    for (size_t i = 0; i < count; ++i, pos += ndims) {
-      bool inside = true;
-      for (size_t d = 0; d < ndims; ++d) {
-        if (pos[d] < box.lo[d] || pos[d] > box.hi[d]) {
-          inside = false;
-          break;
-        }
-      }
-      if (inside && !in_run) {
-        run_begin = static_cast<uint32_t>(i);
-        in_run = true;
-      } else if (!inside && in_run) {
-        cs.spans.emplace_back(run_begin, static_cast<uint32_t>(i));
-        in_run = false;
-      }
-    }
-    if (in_run) cs.spans.emplace_back(run_begin, static_cast<uint32_t>(count));
+    simd::MaskToSpans(mask.data(), count, &cs.spans);
     if (cs.spans.empty()) continue;
     for (const auto& [begin, end] : cs.spans) {
       view.num_cells_ += end - begin;
@@ -66,6 +75,27 @@ FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box) {
     view.chunks_.push_back(std::move(cs));
   }
   return view;
+}
+
+int64_t FilterBoxCount(const array::Array& array, const CellBox& box) {
+  // Cardinality-only selection: same pruning and predicate kernel as
+  // FilterBoxSpans, but the mask reduces straight to a count — no span
+  // construction.
+  const size_t ndims = box.lo.size();
+  ARRAYDB_CHECK_EQ(box.hi.size(), ndims);
+  int64_t count = 0;
+  std::vector<uint8_t> mask;
+  for (const auto& [coords, chunk] : array.chunks()) {
+    const size_t cells = chunk.num_cells();
+    if (cells == 0) continue;
+    ARRAYDB_CHECK_EQ(chunk.bbox_lo().size(), ndims);
+    if (!box.Intersects(chunk.bbox_lo(), chunk.bbox_hi())) continue;
+    mask.resize(cells);
+    simd::RangeMask(chunk.packed_coords().data(), cells, ndims,
+                    box.lo.data(), box.hi.data(), mask.data());
+    count += simd::MaskCount(mask.data(), cells);
+  }
+  return count;
 }
 
 std::vector<array::Cell> FilterBoxView::Materialize() const {
@@ -96,14 +126,25 @@ util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,
   if (q < 0.0 || q > 1.0) {
     return util::InvalidArgument("quantile must be in [0,1]");
   }
-  std::vector<double> values;
-  values.reserve(static_cast<size_t>(array.total_cells()));
-  for (const auto& [coords, chunk] : array.chunks()) {
-    if (chunk.num_cells() == 0) continue;
-    const auto& column = chunk.attr_column(static_cast<size_t>(attr));
-    values.insert(values.end(), column.begin(), column.end());
+  const array::CellSpanView view(array);
+  if (view.empty()) return util::FailedPrecondition("array is empty");
+  // The extreme quantiles are plain min/max reductions: one kernel pass per
+  // chunk column, no gather, no sort.
+  if (q == 0.0 || q == 1.0) {
+    double result = 0.0;
+    bool first = true;
+    for (const array::Chunk* chunk : view.chunks()) {
+      const auto& column = chunk->attr_column(static_cast<size_t>(attr));
+      const double extreme = q == 0.0 ? simd::Min(column.data(), column.size())
+                                      : simd::Max(column.data(), column.size());
+      result = first ? extreme
+                     : (q == 0.0 ? std::min(result, extreme)
+                                 : std::max(result, extreme));
+      first = false;
+    }
+    return result;
   }
-  if (values.empty()) return util::FailedPrecondition("array is empty");
+  std::vector<double> values = view.GatherAttr(static_cast<size_t>(attr));
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
@@ -160,6 +201,17 @@ int64_t AttrJoinCount(const array::Array& array, int attr,
   return matches;
 }
 
+namespace {
+
+// Bin origin (floor division handles negative coordinates).
+inline int64_t BinOrigin(int64_t v, int64_t bin) {
+  int64_t q = v / bin;
+  if (v % bin != 0 && v < 0) --q;
+  return q * bin;
+}
+
+}  // namespace
+
 std::map<array::Coordinates, double> GroupBySum(
     const array::Array& array, const std::vector<int64_t>& bin, int attr) {
   ARRAYDB_CHECK_EQ(bin.size(),
@@ -170,18 +222,29 @@ std::map<array::Coordinates, double> GroupBySum(
   const size_t ndims = bin.size();
   std::unordered_map<array::Coordinates, double, array::CoordinatesHash> acc;
   array::Coordinates key(ndims);
-  // Sorted chunk order keeps floating-point accumulation deterministic.
+  // Sorted chunk order keeps floating-point accumulation deterministic
+  // (and, with the kernels dispatch-stable, identical across scalar and
+  // AVX2 dispatch).
   for (const array::Chunk* chunk_ptr : array.SortedChunks()) {
     const array::Chunk& chunk = *chunk_ptr;
     if (chunk.num_cells() == 0) continue;
     const auto& column = chunk.attr_column(static_cast<size_t>(attr));
+    // Chunk-per-bin fast path: when the chunk's bounding box maps into a
+    // single bin (the common case for bins at least as coarse as chunks),
+    // the whole column collapses to one Sum-kernel reduction.
+    bool single_bin = true;
+    for (size_t d = 0; d < ndims; ++d) {
+      key[d] = BinOrigin(chunk.bbox_lo()[d], bin[d]);
+      single_bin &= key[d] == BinOrigin(chunk.bbox_hi()[d], bin[d]);
+    }
+    if (single_bin) {
+      acc[key] += simd::Sum(column.data(), column.size());
+      continue;
+    }
     const int64_t* pos = chunk.packed_coords().data();
     for (size_t i = 0; i < chunk.num_cells(); ++i, pos += ndims) {
       for (size_t d = 0; d < ndims; ++d) {
-        // Bin origin (floor division handles negative coordinates).
-        int64_t q = pos[d] / bin[d];
-        if (pos[d] % bin[d] != 0 && pos[d] < 0) --q;
-        key[d] = q * bin[d];
+        key[d] = BinOrigin(pos[d], bin[d]);
       }
       acc[key] += column[i];
     }
@@ -346,28 +409,38 @@ util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
                                           int samples, uint64_t seed) {
   if (k < 1) return util::InvalidArgument("k must be positive");
   if (samples < 1) return util::InvalidArgument("samples must be positive");
-  const auto cells = array.AllCells();
-  if (static_cast<int>(cells.size()) <= k) {
+  // Sample and scan through the span view: positions are read straight from
+  // the chunks' packed coordinate columns, no Cell materialization.
+  const array::CellSpanView view(array);
+  const int64_t num_cells = view.num_cells();
+  if (num_cells <= static_cast<int64_t>(k)) {
     return util::FailedPrecondition("not enough cells for kNN");
   }
+  const size_t ndims = static_cast<size_t>(array.schema().num_dims());
   util::Rng rng(seed);
   double total = 0.0;
+  array::Coordinates origin(ndims);
+  std::vector<double> dists;
+  dists.reserve(static_cast<size_t>(num_cells) - 1);
   for (int s = 0; s < samples; ++s) {
-    const size_t idx = static_cast<size_t>(rng.NextBounded(cells.size()));
-    const auto& origin = cells[idx].pos;
+    const auto idx = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(num_cells)));
+    const auto loc = view.Locate(idx);
+    const int64_t* origin_pos = loc.chunk->cell_pos(loc.index);
+    origin.assign(origin_pos, origin_pos + ndims);
     // Brute-force distances to all other cells; keep the k smallest.
-    std::vector<double> dists;
-    dists.reserve(cells.size() - 1);
-    for (size_t j = 0; j < cells.size(); ++j) {
-      if (j == idx) continue;
-      double dist = 0.0;
-      for (size_t d = 0; d < origin.size(); ++d) {
-        const double diff =
-            static_cast<double>(cells[j].pos[d] - origin[d]);
-        dist += diff * diff;
-      }
-      dists.push_back(std::sqrt(dist));
-    }
+    dists.clear();
+    view.ForEachCell(
+        [&](const array::Chunk& chunk, size_t i, int64_t global) {
+          if (global == idx) return;
+          const int64_t* pos = chunk.cell_pos(i);
+          double dist = 0.0;
+          for (size_t d = 0; d < ndims; ++d) {
+            const double diff = static_cast<double>(pos[d] - origin[d]);
+            dist += diff * diff;
+          }
+          dists.push_back(std::sqrt(dist));
+        });
     std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
     double sum = 0.0;
     for (int i = 0; i < k; ++i) sum += dists[static_cast<size_t>(i)];

@@ -83,6 +83,12 @@ FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box);
 std::vector<array::Cell> FilterBox(const array::Array& array,
                                    const CellBox& box);
 
+/// Selection cardinality (COUNT(*) over the box): same pruning and
+/// predicate kernel as FilterBoxSpans, without building spans. Chunk
+/// iteration order is irrelevant to a count, so this walks the chunk map
+/// directly.
+int64_t FilterBoxCount(const array::Array& array, const CellBox& box);
+
 /// Sort benchmark: the q-quantile (0 <= q <= 1) of attribute `attr` over
 /// all non-empty cells.
 util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,

@@ -1,0 +1,82 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace arraydb::simd {
+namespace {
+
+// -1 = no override; otherwise the int value of the forced DispatchLevel.
+std::atomic<int> g_override{-1};
+
+bool CpuSupportsAvx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+DispatchLevel Detect() {
+  if (!CompiledWithAvx2() || !CpuSupportsAvx2()) return DispatchLevel::kScalar;
+  const char* env = std::getenv("ARRAYDB_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return DispatchLevel::kScalar;
+  }
+  return DispatchLevel::kAvx2;
+}
+
+}  // namespace
+
+const char* ToString(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return "scalar";
+    case DispatchLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CompiledWithAvx2() {
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+DispatchLevel DetectedLevel() {
+  static const DispatchLevel level = Detect();
+  return level;
+}
+
+DispatchLevel ActiveLevel() {
+  const int override = g_override.load(std::memory_order_relaxed);
+  if (override >= 0) return static_cast<DispatchLevel>(override);
+  return DetectedLevel();
+}
+
+bool ForceDispatch(DispatchLevel level) {
+  if (level == DispatchLevel::kAvx2 &&
+      (!CompiledWithAvx2() || !CpuSupportsAvx2())) {
+    return false;
+  }
+  g_override.store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+void ClearDispatchOverride() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+ScopedDispatch::ScopedDispatch(DispatchLevel level)
+    : previous_(g_override.load(std::memory_order_relaxed)),
+      ok_(ForceDispatch(level)) {}
+
+ScopedDispatch::~ScopedDispatch() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace arraydb::simd

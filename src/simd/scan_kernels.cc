@@ -1,0 +1,139 @@
+#include "simd/scan_kernels.h"
+
+#include <algorithm>
+
+#include "simd/dispatch.h"
+#include "util/logging.h"
+
+namespace arraydb::simd {
+
+namespace scalar {
+
+void RangeMask(const int64_t* coords, size_t count, size_t ndims,
+               const int64_t* lo, const int64_t* hi, uint8_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t* pos = coords + i * ndims;
+    // Branchless accumulation: predictable on mixed data and the semantic
+    // twin of the AVX2 compare+mask path.
+    bool inside = true;
+    for (size_t d = 0; d < ndims; ++d) {
+      inside &= (pos[d] >= lo[d]) & (pos[d] <= hi[d]);
+    }
+    out[i] = inside ? 1 : 0;
+  }
+}
+
+double Sum(const double* v, size_t n) {
+  // Mirrors the AVX2 accumulation order exactly (see the header contract):
+  // four lane accumulators over the vectorizable prefix, combined as
+  // ((acc0 + acc2) + (acc1 + acc3)), then the tail in index order.
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    acc[0] += v[i];
+    acc[1] += v[i + 1];
+    acc[2] += v[i + 2];
+    acc[3] += v[i + 3];
+  }
+  double sum = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+  for (size_t i = n4; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+double Min(const double* v, size_t n) {
+  double m = v[0];
+  for (size_t i = 1; i < n; ++i) m = std::min(m, v[i]);
+  return m;
+}
+
+double Max(const double* v, size_t n) {
+  double m = v[0];
+  for (size_t i = 1; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+void BBoxIntersectMask(const BBoxSoA& boxes, const int64_t* qlo,
+                       const int64_t* qhi, uint8_t* out) {
+  const size_t count = boxes.count;
+  std::fill(out, out + count, uint8_t{1});
+  for (size_t d = 0; d < boxes.ndims; ++d) {
+    const int64_t* lo_d = boxes.lo.data() + d * count;
+    const int64_t* hi_d = boxes.hi.data() + d * count;
+    for (size_t c = 0; c < count; ++c) {
+      out[c] &= (qhi[d] >= lo_d[c]) & (qlo[d] <= hi_d[c]);
+    }
+  }
+}
+
+}  // namespace scalar
+
+void RangeMask(const int64_t* coords, size_t count, size_t ndims,
+               const int64_t* lo, const int64_t* hi, uint8_t* out) {
+  ARRAYDB_CHECK_GE(ndims, 1u);
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+  if (ActiveLevel() == DispatchLevel::kAvx2) {
+    avx2::RangeMask(coords, count, ndims, lo, hi, out);
+    return;
+  }
+#endif
+  scalar::RangeMask(coords, count, ndims, lo, hi, out);
+}
+
+double Sum(const double* v, size_t n) {
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+  if (ActiveLevel() == DispatchLevel::kAvx2) return avx2::Sum(v, n);
+#endif
+  return scalar::Sum(v, n);
+}
+
+double Min(const double* v, size_t n) {
+  ARRAYDB_CHECK_GE(n, 1u);
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+  if (ActiveLevel() == DispatchLevel::kAvx2) return avx2::Min(v, n);
+#endif
+  return scalar::Min(v, n);
+}
+
+double Max(const double* v, size_t n) {
+  ARRAYDB_CHECK_GE(n, 1u);
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+  if (ActiveLevel() == DispatchLevel::kAvx2) return avx2::Max(v, n);
+#endif
+  return scalar::Max(v, n);
+}
+
+int64_t MaskCount(const uint8_t* mask, size_t n) {
+  int64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += mask[i] != 0;
+  return count;
+}
+
+void MaskToSpans(const uint8_t* mask, size_t n,
+                 std::vector<std::pair<uint32_t, uint32_t>>* spans) {
+  uint32_t run_begin = 0;
+  bool in_run = false;
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = mask[i] != 0;
+    if (inside && !in_run) {
+      run_begin = static_cast<uint32_t>(i);
+      in_run = true;
+    } else if (!inside && in_run) {
+      spans->emplace_back(run_begin, static_cast<uint32_t>(i));
+      in_run = false;
+    }
+  }
+  if (in_run) spans->emplace_back(run_begin, static_cast<uint32_t>(n));
+}
+
+void BBoxIntersectMask(const BBoxSoA& boxes, const int64_t* qlo,
+                       const int64_t* qhi, uint8_t* out) {
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+  if (ActiveLevel() == DispatchLevel::kAvx2) {
+    avx2::BBoxIntersectMask(boxes, qlo, qhi, out);
+    return;
+  }
+#endif
+  scalar::BBoxIntersectMask(boxes, qlo, qhi, out);
+}
+
+}  // namespace arraydb::simd

@@ -1,0 +1,110 @@
+// Vectorized scan kernels over the columnar chunk layout (ROADMAP: "SIMD
+// scan kernels"). Three kernel families back the exec operators:
+//
+//   * RangeMask — the per-dimension range predicate behind FilterBoxSpans:
+//     a 0/1 byte per cell of a packed (interleaved, ndims-stride) coordinate
+//     buffer, 1 iff every dimension lies in [lo[d], hi[d]].
+//   * Sum / Min / Max — attribute reductions over packed double columns,
+//     behind AttrQuantile's q=0/q=1 fast paths and GroupBySum's
+//     chunk-per-bin fast path. MaskCount is the matching count reduction
+//     over predicate masks.
+//   * BBoxIntersectMask — bbox-prune checks across many chunks at once,
+//     over a dimension-major SoA of chunk bounding boxes.
+//
+// Dispatch (see dispatch.h) picks the AVX2 or scalar variant at runtime.
+// Every kernel is bit-identical across variants: the integer kernels are
+// trivially exact, and Sum's scalar fallback reproduces the AVX2
+// four-accumulator lane order (documented on the declaration). Kernels
+// assume NaN-free inputs (the storage layer only produces finite values).
+
+#ifndef ARRAYDB_SIMD_SCAN_KERNELS_H_
+#define ARRAYDB_SIMD_SCAN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace arraydb::simd {
+
+/// Range predicate over packed coordinates: cell i occupies
+/// coords[i*ndims .. i*ndims+ndims). Writes out[i] = 1 iff
+/// lo[d] <= coords[i*ndims+d] <= hi[d] for every d, else 0.
+/// `out` must hold `count` bytes. ndims must be >= 1.
+void RangeMask(const int64_t* coords, size_t count, size_t ndims,
+               const int64_t* lo, const int64_t* hi, uint8_t* out);
+
+/// Sum of v[0..n). Deterministic lane-split order, identical across
+/// dispatch variants: with accL = v[L] + v[L+4] + v[L+8] + ... (L in 0..3,
+/// over the first n - n%4 elements), the result is
+/// ((acc0 + acc2) + (acc1 + acc3)) + tail elements added in index order.
+/// This is the AVX2 accumulation order; the scalar variant mirrors it.
+double Sum(const double* v, size_t n);
+
+/// Minimum / maximum of v[0..n). n must be >= 1. Exact (order-independent
+/// for finite inputs), with one caveat alongside the NaN-free assumption:
+/// on a +0.0 / -0.0 tie the returned zero's sign is variant-dependent (the
+/// two compare equal, but AVX2 min/max break ties by operand order).
+double Min(const double* v, size_t n);
+double Max(const double* v, size_t n);
+
+/// Number of nonzero bytes in mask[0..n) (count reduction over a predicate
+/// mask).
+int64_t MaskCount(const uint8_t* mask, size_t n);
+
+/// Converts a 0/1 byte mask into maximal half-open [begin, end) runs of
+/// nonzero bytes, appended to `spans` in ascending order.
+void MaskToSpans(const uint8_t* mask, size_t n,
+                 std::vector<std::pair<uint32_t, uint32_t>>* spans);
+
+/// Dimension-major SoA of `count` bounding boxes: lo[d * count + c] and
+/// hi[d * count + c] bound box c in dimension d, inclusive on both ends.
+struct BBoxSoA {
+  size_t count = 0;
+  size_t ndims = 0;
+  std::vector<int64_t> lo;
+  std::vector<int64_t> hi;
+
+  /// Pre-sizes the arrays for `count` boxes of rank `ndims`.
+  void Resize(size_t count_in, size_t ndims_in) {
+    count = count_in;
+    ndims = ndims_in;
+    lo.assign(count * ndims, 0);
+    hi.assign(count * ndims, 0);
+  }
+};
+
+/// Batch bbox-prune: out[c] = 1 iff box c of `boxes` intersects the query
+/// box [qlo, qhi] (inclusive) in every dimension. `out` must hold
+/// boxes.count bytes; qlo/qhi hold boxes.ndims values.
+void BBoxIntersectMask(const BBoxSoA& boxes, const int64_t* qlo,
+                       const int64_t* qhi, uint8_t* out);
+
+// -- Variant entry points (exposed for equivalence tests; operators should
+// call the dispatching functions above) ------------------------------------
+
+namespace scalar {
+void RangeMask(const int64_t* coords, size_t count, size_t ndims,
+               const int64_t* lo, const int64_t* hi, uint8_t* out);
+double Sum(const double* v, size_t n);
+double Min(const double* v, size_t n);
+double Max(const double* v, size_t n);
+void BBoxIntersectMask(const BBoxSoA& boxes, const int64_t* qlo,
+                       const int64_t* qhi, uint8_t* out);
+}  // namespace scalar
+
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+namespace avx2 {
+void RangeMask(const int64_t* coords, size_t count, size_t ndims,
+               const int64_t* lo, const int64_t* hi, uint8_t* out);
+double Sum(const double* v, size_t n);
+double Min(const double* v, size_t n);
+double Max(const double* v, size_t n);
+void BBoxIntersectMask(const BBoxSoA& boxes, const int64_t* qlo,
+                       const int64_t* qhi, uint8_t* out);
+}  // namespace avx2
+#endif
+
+}  // namespace arraydb::simd
+
+#endif  // ARRAYDB_SIMD_SCAN_KERNELS_H_

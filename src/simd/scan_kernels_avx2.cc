@@ -1,0 +1,226 @@
+// AVX2 kernel variants. This translation unit is the only one compiled with
+// -mavx2 (see CMakeLists.txt); everything is guarded so a force-scalar or
+// non-x86 build compiles it to an empty TU. The kernels are gather-free:
+// RangeMask loads the interleaved coordinate buffer contiguously and
+// compares against precomputed per-dimension bound patterns whose lanes
+// follow the interleaving period, and BBoxIntersectMask runs over the
+// dimension-major bbox SoA.
+
+#include "simd/scan_kernels.h"
+
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace arraydb::simd::avx2 {
+
+namespace {
+
+// 4-bit verdict nibble -> four 0/1 output bytes (little-endian).
+constexpr uint32_t kNibbleBytes[16] = {
+    0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+    0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+    0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+    0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u,
+};
+
+// Rank-specialized RangeMask. One compare lane per coordinate value: lane
+// (4v + L) of pattern vector v holds the bound of dimension
+// (4v + L) % kNdims, so a straight contiguous sweep of the interleaved
+// buffer lines every coordinate up with its own dimension's bounds. A full
+// pattern period covers lcm(kNdims, 4) lanes = kCells whole cells;
+// per-cell verdicts are assembled from the compare sign bits. With the
+// rank a compile-time constant every pattern index, shift, and loop bound
+// constant-folds and the per-period body unrolls flat.
+template <size_t kNdims>
+void RangeMaskFixed(const int64_t* coords, size_t count, const int64_t* lo,
+                    const int64_t* hi, uint8_t* out) {
+  constexpr size_t kPeriodLanes =
+      kNdims % 4 == 0 ? kNdims : (kNdims % 2 == 0 ? 2 * kNdims : 4 * kNdims);
+  constexpr size_t kVecs = kPeriodLanes / 4;
+  constexpr size_t kCells = kPeriodLanes / kNdims;
+
+  __m256i lo_pat[kVecs];
+  __m256i hi_pat[kVecs];
+  for (size_t v = 0; v < kVecs; ++v) {
+    alignas(32) int64_t lo_lanes[4];
+    alignas(32) int64_t hi_lanes[4];
+    for (size_t lane = 0; lane < 4; ++lane) {
+      const size_t d = (4 * v + lane) % kNdims;
+      lo_lanes[lane] = lo[d];
+      hi_lanes[lane] = hi[d];
+    }
+    lo_pat[v] = _mm256_load_si256(reinterpret_cast<const __m256i*>(lo_lanes));
+    hi_pat[v] = _mm256_load_si256(reinterpret_cast<const __m256i*>(hi_lanes));
+  }
+
+  // One period = kPeriodLanes compare lanes = kCells cell verdicts.
+  const auto one_period = [&](const int64_t* base, uint8_t* o) {
+    uint64_t fail_bits = 0;
+    for (size_t v = 0; v < kVecs; ++v) {
+      const __m256i c = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + 4 * v));
+      const __m256i fail = _mm256_or_si256(_mm256_cmpgt_epi64(lo_pat[v], c),
+                                           _mm256_cmpgt_epi64(c, hi_pat[v]));
+      fail_bits |= static_cast<uint64_t>(
+                       _mm256_movemask_pd(_mm256_castsi256_pd(fail)))
+                   << (4 * v);
+    }
+    if constexpr (kCells == 1) {
+      *o = fail_bits == 0 ? 1 : 0;
+    } else {
+      uint64_t u = ~fail_bits;
+      for (size_t s = 1; s < kNdims; ++s) u &= u >> 1;
+      if constexpr (kCells == 4) {
+        const uint32_t nibble =
+            static_cast<uint32_t>((u & 1) | ((u >> (kNdims - 1)) & 2) |
+                                  ((u >> (2 * kNdims - 2)) & 4) |
+                                  ((u >> (3 * kNdims - 3)) & 8));
+        std::memcpy(o, &kNibbleBytes[nibble], 4);
+      } else {  // kCells == 2
+        o[0] = static_cast<uint8_t>(u & 1);
+        o[1] = static_cast<uint8_t>((u >> kNdims) & 1);
+      }
+    }
+  };
+
+  const size_t num_periods = count / kCells;
+  size_t p = 0;
+  // Two periods per iteration: the period chains are independent, so the
+  // out-of-order core overlaps them.
+  for (; p + 2 <= num_periods; p += 2) {
+    one_period(coords + p * kPeriodLanes, out + p * kCells);
+    one_period(coords + (p + 1) * kPeriodLanes, out + (p + 1) * kCells);
+  }
+  for (; p < num_periods; ++p) {
+    one_period(coords + p * kPeriodLanes, out + p * kCells);
+  }
+  const size_t done = num_periods * kCells;
+  if (done < count) {
+    scalar::RangeMask(coords + done * kNdims, count - done, kNdims, lo, hi,
+                      out + done);
+  }
+}
+
+}  // namespace
+
+void RangeMask(const int64_t* coords, size_t count, size_t ndims,
+               const int64_t* lo, const int64_t* hi, uint8_t* out) {
+  switch (ndims) {  // Every supported rank runs a constant-folded body.
+    case 1:
+      return RangeMaskFixed<1>(coords, count, lo, hi, out);
+    case 2:
+      return RangeMaskFixed<2>(coords, count, lo, hi, out);
+    case 3:
+      return RangeMaskFixed<3>(coords, count, lo, hi, out);
+    case 4:
+      return RangeMaskFixed<4>(coords, count, lo, hi, out);
+    case 5:
+      return RangeMaskFixed<5>(coords, count, lo, hi, out);
+    case 6:
+      return RangeMaskFixed<6>(coords, count, lo, hi, out);
+    case 7:
+      return RangeMaskFixed<7>(coords, count, lo, hi, out);
+    case 8:
+      return RangeMaskFixed<8>(coords, count, lo, hi, out);
+    default:
+      // No schema in the system exceeds rank 8 (HilbertCodec tops out at
+      // 6); keep higher ranks on the always-correct scalar path rather
+      // than carrying an untestable generic vector variant.
+      scalar::RangeMask(coords, count, ndims, lo, hi, out);
+      return;
+  }
+}
+
+double Sum(const double* v, size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    vacc = _mm256_add_pd(vacc, _mm256_loadu_pd(v + i));
+  }
+  // Combine lanes as ((acc0 + acc2) + (acc1 + acc3)) — the contract the
+  // scalar fallback mirrors.
+  const __m128d lo128 = _mm256_castpd256_pd128(vacc);
+  const __m128d hi128 = _mm256_extractf128_pd(vacc, 1);
+  const __m128d pair = _mm_add_pd(lo128, hi128);
+  double sum =
+      _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (size_t i = n4; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+// Lane combines and tails below use plain ternaries rather than
+// std::min/std::max: instantiating those inline templates here would emit
+// VEX-encoded comdat copies of symbols the scalar TU also uses, which in an
+// unoptimized build could leak AVX instructions into the scalar dispatch
+// path on a pre-AVX CPU.
+
+double Min(const double* v, size_t n) {
+  if (n < 4) return scalar::Min(v, n);
+  __m256d vm = _mm256_loadu_pd(v);
+  const size_t n4 = n - n % 4;
+  for (size_t i = 4; i < n4; i += 4) {
+    vm = _mm256_min_pd(vm, _mm256_loadu_pd(v + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vm);
+  const double m01 = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+  const double m23 = lanes[2] < lanes[3] ? lanes[2] : lanes[3];
+  double m = m01 < m23 ? m01 : m23;
+  for (size_t i = n4; i < n; ++i) m = v[i] < m ? v[i] : m;
+  return m;
+}
+
+double Max(const double* v, size_t n) {
+  if (n < 4) return scalar::Max(v, n);
+  __m256d vm = _mm256_loadu_pd(v);
+  const size_t n4 = n - n % 4;
+  for (size_t i = 4; i < n4; i += 4) {
+    vm = _mm256_max_pd(vm, _mm256_loadu_pd(v + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vm);
+  const double m01 = lanes[0] > lanes[1] ? lanes[0] : lanes[1];
+  const double m23 = lanes[2] > lanes[3] ? lanes[2] : lanes[3];
+  double m = m01 > m23 ? m01 : m23;
+  for (size_t i = n4; i < n; ++i) m = v[i] > m ? v[i] : m;
+  return m;
+}
+
+void BBoxIntersectMask(const BBoxSoA& boxes, const int64_t* qlo,
+                       const int64_t* qhi, uint8_t* out) {
+  const size_t count = boxes.count;
+  const size_t ndims = boxes.ndims;
+  const size_t c4 = count - count % 4;
+  for (size_t c = 0; c < c4; c += 4) {
+    __m256i ok = _mm256_set1_epi64x(-1);
+    for (size_t d = 0; d < ndims; ++d) {
+      const __m256i lo_c = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(boxes.lo.data() + d * count + c));
+      const __m256i hi_c = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(boxes.hi.data() + d * count + c));
+      const __m256i fail =
+          _mm256_or_si256(_mm256_cmpgt_epi64(lo_c, _mm256_set1_epi64x(qhi[d])),
+                          _mm256_cmpgt_epi64(_mm256_set1_epi64x(qlo[d]), hi_c));
+      ok = _mm256_andnot_si256(fail, ok);
+    }
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(ok));
+    for (size_t i = 0; i < 4; ++i) {
+      out[c + i] = static_cast<uint8_t>((mask >> i) & 1);
+    }
+  }
+  for (size_t c = c4; c < count; ++c) {
+    bool ok = true;
+    for (size_t d = 0; d < ndims; ++d) {
+      ok &= (qhi[d] >= boxes.lo[d * count + c]) &
+            (qlo[d] <= boxes.hi[d * count + c]);
+    }
+    out[c] = ok ? 1 : 0;
+  }
+}
+
+}  // namespace arraydb::simd::avx2
+
+#endif  // ARRAYDB_SIMD_HAVE_AVX2

@@ -14,34 +14,42 @@ using array::AttrType;
 using array::AttributeDesc;
 using array::DimensionDesc;
 
-Array MakeSmallModisBand(int days, uint64_t seed) {
+Array MakeModisBand(int days, int64_t lon_cells, int64_t lat_cells,
+                    uint64_t seed) {
   ARRAYDB_CHECK_GE(days, 1);
+  ARRAYDB_CHECK_GE(lon_cells, 8);
+  ARRAYDB_CHECK_GE(lat_cells, 8);
   ArraySchema schema(
       "band_small",
       {DimensionDesc{"time", 0, days - 1, 1, false},
-       DimensionDesc{"longitude", 0, 31, 4, false},
-       DimensionDesc{"latitude", 0, 15, 4, false}},
+       DimensionDesc{"longitude", 0, lon_cells - 1, 4, false},
+       DimensionDesc{"latitude", 0, lat_cells - 1, 4, false}},
       {AttributeDesc{"si_value", AttrType::kInt32},
        AttributeDesc{"radiance", AttrType::kDouble},
        AttributeDesc{"reflectance", AttrType::kDouble}});
   Array band(std::move(schema));
 
+  // The defaults reproduce the 32 x 16 miniature bit-exactly: the land
+  // boundary and latitude center scale with the grid (20 and 8.0 at 32x16),
+  // and the insertion/rng order is grid-size independent.
+  const int64_t land_limit = lon_cells * 5 / 8;
+  const double lat_center = static_cast<double>(lat_cells) / 2.0;
   util::Rng rng(seed);
   for (int64_t t = 0; t < days; ++t) {
-    for (int64_t lon = 0; lon < 32; ++lon) {
-      for (int64_t lat = 0; lat < 16; ++lat) {
-        // "Land" covers the left 3/5 of the grid; ocean cells are sparse.
-        const bool land = lon < 20;
+    for (int64_t lon = 0; lon < lon_cells; ++lon) {
+      for (int64_t lat = 0; lat < lat_cells; ++lat) {
+        // "Land" covers the left part of the grid; ocean cells are sparse.
+        const bool land = lon < land_limit;
         const double occupancy = land ? 0.9 : 0.15;
         if (rng.NextDouble() >= occupancy) continue;
         // Radiance: smooth spatial gradient + daily wobble; reflectance
         // correlates with latitude (ice caps are brighter).
         const double radiance =
             100.0 + 2.0 * static_cast<double>(lon) -
-            1.5 * std::abs(static_cast<double>(lat) - 8.0) +
+            1.5 * std::abs(static_cast<double>(lat) - lat_center) +
             3.0 * std::sin(static_cast<double>(t)) + rng.NextGaussian();
         const double reflectance =
-            0.2 + 0.04 * std::abs(static_cast<double>(lat) - 8.0) +
+            0.2 + 0.04 * std::abs(static_cast<double>(lat) - lat_center) +
             0.01 * rng.NextGaussian();
         const double si = std::round(radiance * 10.0);
         ARRAYDB_CHECK(
@@ -52,23 +60,34 @@ Array MakeSmallModisBand(int days, uint64_t seed) {
   return band;
 }
 
-Array MakeSmallAisTracks(int months, int ships, uint64_t seed) {
+Array MakeSmallModisBand(int days, uint64_t seed) {
+  return MakeModisBand(days, /*lon_cells=*/32, /*lat_cells=*/16, seed);
+}
+
+Array MakeAisTracks(int months, int ships, int64_t lon_cells,
+                    int64_t lat_cells, uint64_t seed) {
   ARRAYDB_CHECK_GE(months, 1);
   ARRAYDB_CHECK_GE(ships, 1);
+  ARRAYDB_CHECK_GE(lon_cells, 8);
+  ARRAYDB_CHECK_GE(lat_cells, 8);
   ArraySchema schema(
       "broadcast_small",
       {DimensionDesc{"time", 0, months - 1, 1, false},
-       DimensionDesc{"longitude", 0, 31, 4, false},
-       DimensionDesc{"latitude", 0, 23, 4, false}},
+       DimensionDesc{"longitude", 0, lon_cells - 1, 4, false},
+       DimensionDesc{"latitude", 0, lat_cells - 1, 4, false}},
       {AttributeDesc{"speed", AttrType::kInt32},
        AttributeDesc{"ship_id", AttrType::kInt32},
        AttributeDesc{"voyage_id", AttrType::kInt32}});
   Array tracks(std::move(schema));
 
   // Two synthetic ports; ships loiter near one of them and occasionally
-  // steam between them, so most broadcasts cluster at the ports.
-  const double port_lon[2] = {6.0, 26.0};
-  const double port_lat[2] = {6.0, 18.0};
+  // steam between them, so most broadcasts cluster at the ports. Port
+  // positions scale with the grid (6/26 and 6/18 at 32 x 24, matching the
+  // original miniature exactly).
+  const double port_lon[2] = {0.1875 * static_cast<double>(lon_cells),
+                              0.8125 * static_cast<double>(lon_cells)};
+  const double port_lat[2] = {0.25 * static_cast<double>(lat_cells),
+                              0.75 * static_cast<double>(lat_cells)};
 
   util::Rng rng(seed);
   for (int ship = 0; ship < ships; ++ship) {
@@ -89,10 +108,10 @@ Array MakeSmallAisTracks(int months, int ships, uint64_t seed) {
               rng.NextGaussian();
         speed = 10.0 + std::abs(rng.NextGaussian()) * 4.0;  // Underway.
       }
-      const int64_t ilon =
-          std::clamp<int64_t>(static_cast<int64_t>(std::llround(lon)), 0, 31);
-      const int64_t ilat =
-          std::clamp<int64_t>(static_cast<int64_t>(std::llround(lat)), 0, 23);
+      const int64_t ilon = std::clamp<int64_t>(
+          static_cast<int64_t>(std::llround(lon)), 0, lon_cells - 1);
+      const int64_t ilat = std::clamp<int64_t>(
+          static_cast<int64_t>(std::llround(lat)), 0, lat_cells - 1);
       // One broadcast per ship-month at most (cells are single-occupancy);
       // collisions on a cell keep the first broadcast (no-overwrite model).
       const auto status = tracks.InsertCell(
@@ -103,6 +122,11 @@ Array MakeSmallAisTracks(int months, int ships, uint64_t seed) {
     }
   }
   return tracks;
+}
+
+Array MakeSmallAisTracks(int months, int ships, uint64_t seed) {
+  return MakeAisTracks(months, ships, /*lon_cells=*/32, /*lat_cells=*/24,
+                       seed);
 }
 
 }  // namespace arraydb::workload

@@ -14,16 +14,26 @@
 
 namespace arraydb::workload {
 
-/// A miniature MODIS band: 3-D (time, longitude, latitude) at 1x4x4-cell
-/// chunks over a `days` x 32 x 16 cell grid. Attributes:
+/// A MODIS band: 3-D (time, longitude, latitude) at 1x4x4-cell chunks over
+/// a `days` x `lon_cells` x `lat_cells` grid. Attributes:
 /// (si_value, radiance, reflectance). Radiance varies smoothly over space;
-/// occupancy is dense over "land" cells and sparse over "ocean".
+/// occupancy is dense over "land" cells (the left 5/8 of the grid) and
+/// sparse over "ocean". Scaled-up grids feed the scan kernel benchmarks.
+array::Array MakeModisBand(int days, int64_t lon_cells, int64_t lat_cells,
+                           uint64_t seed);
+
+/// The miniature band used by tests and examples: `days` x 32 x 16 cells.
 array::Array MakeSmallModisBand(int days, uint64_t seed);
 
-/// A miniature AIS broadcast array: 3-D (time, longitude, latitude) at
-/// 1x4x4-cell chunks over a `months` x 32 x 24 cell grid. Attributes:
+/// An AIS broadcast array: 3-D (time, longitude, latitude) at 1x4x4-cell
+/// chunks over a `months` x `lon_cells` x `lat_cells` grid. Attributes:
 /// (speed, ship_id, voyage_id). Positions cluster around two synthetic
 /// ports, reproducing the use case's heavy spatial skew.
+array::Array MakeAisTracks(int months, int ships, int64_t lon_cells,
+                           int64_t lat_cells, uint64_t seed);
+
+/// The miniature track array used by tests and examples:
+/// `months` x 32 x 24 cells.
 array::Array MakeSmallAisTracks(int months, int ships, uint64_t seed);
 
 }  // namespace arraydb::workload

@@ -22,14 +22,21 @@ namespace arraydb {
 namespace {
 
 TEST(ThreadPoolTest, SubmittedTasksAllRun) {
-  util::ThreadPool pool(3);
+  // Declared before the pool so the pool joins its workers before the
+  // condition variable is destroyed; the final task notifies under the
+  // mutex so the wakeup cannot slip between the waiter's predicate check
+  // and its sleep.
   std::atomic<int> done{0};
   std::mutex mu;
   std::condition_variable cv;
+  util::ThreadPool pool(3);
   constexpr int kTasks = 64;
   for (int i = 0; i < kTasks; ++i) {
     pool.Submit([&] {
-      if (done.fetch_add(1) + 1 == kTasks) cv.notify_one();
+      if (done.fetch_add(1) + 1 == kTasks) {
+        const std::lock_guard<std::mutex> guard(mu);
+        cv.notify_one();
+      }
     });
   }
   std::unique_lock<std::mutex> lock(mu);
