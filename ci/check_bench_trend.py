@@ -20,6 +20,12 @@ Two kinds of values are compared, with different tolerances:
     ratios (e.g. ``floor_filter_simd_ratio``: the SIMD filter kernel must
     stay at least 2x its scalar fallback) — the ratio is deterministic in
     direction even though both absolute timings move with the machine.
+    Symmetrically, ``ceiling_<metric>`` declares an absolute maximum: the
+    fresh ``<metric>`` must stay <= the ceiling. Use this for cost metrics
+    whose baseline value sits near zero, where a relative tolerance is
+    meaningless (e.g. ``ceiling_arbitrated_ingest_stall_minutes``: bandwidth
+    arbitration must keep the ingest stall bounded, or the regression fails
+    CI even if the baseline measurement was tiny).
   * per-benchmark ``ns_per_op`` entries (``--entries-tolerance``, default
     100%): wall-clock micro timings. Absolute nanoseconds differ between
     the baseline machine and the CI runner, so raw ratios are normalized by
@@ -91,6 +97,18 @@ def check_metrics(name: str, base: dict, fresh: dict, tol: float) -> list:
                 failures.append(
                     f"{name}: metric '{target}' = {fval:.4g} below required "
                     f"floor {bval:.4g}")
+            continue
+        if key.startswith("ceiling_"):
+            target = key[len("ceiling_"):]
+            fval = fresh.get(target)
+            if not isinstance(fval, (int, float)):
+                failures.append(
+                    f"{name}: ceiling target '{target}' missing from fresh "
+                    f"run")
+            elif fval > bval:
+                failures.append(
+                    f"{name}: metric '{target}' = {fval:.4g} above allowed "
+                    f"ceiling {bval:.4g}")
             continue
         if key not in fresh:
             failures.append(f"{name}: metric '{key}' missing from fresh run")

@@ -91,4 +91,47 @@ ReorgCost CostModel::ReorgMinutes(const MovePlan& plan, int num_nodes) const {
   return cost;
 }
 
+BandwidthBudget CostModel::ArbitrateBandwidth(
+    const BandwidthDemand& demand, const ArbitrationClamps& clamps) const {
+  BandwidthBudget budget;
+  const double remaining = std::max(0.0, demand.remaining_migration_gb);
+  if (remaining <= 0.0) return budget;
+
+  // Incremental plans are pairwise, so a slice's makespan is set by the
+  // receiver: transfer at t plus the write at δ, per GB.
+  const double rate = params_.net_minutes_per_gb + params_.io_minutes_per_gb;
+  const int deadline = std::max(1, demand.cycles_until_deadline);
+  budget.jit_gb = remaining / static_cast<double>(deadline);
+
+  // Eq. 6 shape for the ingest reservation: the coordinator keeps ~1/n of
+  // the batch locally at δ and ships the rest over its uplink at t.
+  const int n = std::max(1, demand.num_nodes);
+  const double remote_frac =
+      n > 1 ? static_cast<double>(n - 1) / static_cast<double>(n) : 0.0;
+  budget.ingest_reserved_minutes =
+      std::max(0.0, demand.projected_ingest_gb) *
+      (remote_frac * params_.net_minutes_per_gb +
+       (1.0 - remote_frac) * params_.io_minutes_per_gb);
+
+  const double free_minutes =
+      std::max(0.0, demand.overlap_window_minutes -
+                        clamps.ingest_reserve_fraction *
+                            budget.ingest_reserved_minutes);
+  budget.window_capacity_gb = rate > 0.0 ? free_minutes / rate : remaining;
+
+  // Use the free window when it is there (finishing early costs nothing),
+  // but never fall below the just-in-time pace; then clamp so neither side
+  // of the split hits zero.
+  double granted =
+      std::max(budget.jit_gb, std::min(budget.window_capacity_gb, remaining));
+  const double ceiling = std::max(clamps.floor_gb, clamps.ceiling_gb);
+  granted = std::clamp(granted, clamps.floor_gb, ceiling);
+  granted = std::min(granted, remaining);
+  budget.migration_gb = granted;
+  budget.deadline_binding = budget.jit_gb > budget.window_capacity_gb;
+  budget.predicted_stall_minutes =
+      std::max(0.0, granted - budget.window_capacity_gb) * rate;
+  return budget;
+}
+
 }  // namespace arraydb::cluster

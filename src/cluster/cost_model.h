@@ -61,6 +61,56 @@ struct ReorgCost {
   NodeId bottleneck_node = kInvalidNode;
 };
 
+/// One workload cycle's competing demands on node bandwidth, presented to
+/// ArbitrateBandwidth: how much migration is still outstanding, how much
+/// data the cycle will ingest, and how much of the cycle the migration can
+/// hide behind the query workload.
+struct BandwidthDemand {
+  /// MovePlan bytes not yet committed, in GB.
+  double remaining_migration_gb = 0.0;
+  /// Projected bytes of this cycle's insert batch, in GB.
+  double projected_ingest_gb = 0.0;
+  /// Cycles until the next staircase step is expected to land (the
+  /// plan-ahead p): the whole remainder must commit within this window.
+  int cycles_until_deadline = 1;
+  /// Minutes of query workload the cycle's migration can overlap with for
+  /// free (typically the previous cycle's benchmark minutes).
+  double overlap_window_minutes = 0.0;
+  int num_nodes = 1;
+};
+
+/// Clamps applied to the arbitrated budget so neither side of the split
+/// hits zero: migration always progresses (floor) and never monopolizes a
+/// cycle's bandwidth (ceiling).
+struct ArbitrationClamps {
+  /// Minimum migration grant per cycle while moves remain, in GB.
+  double floor_gb = 0.25;
+  /// Maximum migration grant per cycle, in GB.
+  double ceiling_gb = 64.0;
+  /// Fraction of the ingest's modeled link time reserved before migration
+  /// may claim the overlap window (1.0 = ingest fully reserved first).
+  double ingest_reserve_fraction = 1.0;
+};
+
+/// One cycle's bandwidth split returned by ArbitrateBandwidth.
+struct BandwidthBudget {
+  /// Migration GB granted for this cycle.
+  double migration_gb = 0.0;
+  /// Just-in-time requirement: remaining / cycles_until_deadline.
+  double jit_gb = 0.0;
+  /// Migration GB that fits in the overlap window after the ingest
+  /// reservation (moves at zero cost to the insert path).
+  double window_capacity_gb = 0.0;
+  /// Link minutes reserved for the cycle's ingest (Eq. 6 shape).
+  double ingest_reserved_minutes = 0.0;
+  /// Modeled minutes the insert will stall because the grant spills past
+  /// the free window.
+  double predicted_stall_minutes = 0.0;
+  /// True when the just-in-time deadline (not the free window) set the
+  /// grant.
+  bool deadline_binding = false;
+};
+
 class CostModel {
  public:
   explicit CostModel(CostParams params = CostParams()) : params_(params) {}
@@ -75,6 +125,18 @@ class CostModel {
 
   /// Prices a reorganization plan against a cluster of `num_nodes` nodes.
   ReorgCost ReorgMinutes(const MovePlan& plan, int num_nodes) const;
+
+  /// Splits one cycle's node bandwidth between migration and ingest (§5's
+  /// leading staircase assumes migration is priced per cycle, not by a
+  /// fixed constant). The grant is the larger of the just-in-time
+  /// requirement (finish by the staircase deadline) and what fits behind
+  /// the query window after the ingest reservation, clamped to
+  /// [floor_gb, ceiling_gb] and to the remaining bytes. Monotone
+  /// non-increasing in projected_ingest_gb: heavier ingest shrinks the
+  /// free window, backing migration off toward the just-in-time minimum.
+  BandwidthBudget ArbitrateBandwidth(
+      const BandwidthDemand& demand,
+      const ArbitrationClamps& clamps = ArbitrationClamps()) const;
 
  private:
   CostParams params_;

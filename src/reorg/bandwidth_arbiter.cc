@@ -1,0 +1,45 @@
+#include "reorg/bandwidth_arbiter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace arraydb::reorg {
+
+BandwidthArbiter::BandwidthArbiter(const cluster::CostModel* cost_model,
+                                   ArbiterOptions options)
+    : cost_model_(cost_model), options_(options) {
+  ARRAYDB_CHECK(cost_model_ != nullptr);
+  cycles_left_ = std::max(1, options_.plan_ahead_cycles);
+}
+
+void BandwidthArbiter::BeginPlan() {
+  cycles_left_ = std::max(1, options_.plan_ahead_cycles);
+  budget_trajectory_.clear();
+}
+
+cluster::BandwidthBudget BandwidthArbiter::PlanCycle(
+    cluster::BandwidthDemand demand) {
+  demand.cycles_until_deadline = cycles_left_;
+  const double remaining = std::max(0.0, demand.remaining_migration_gb);
+
+  cluster::BandwidthBudget granted;
+  if (options_.fixed_gb.has_value()) {
+    granted.migration_gb = std::min(std::max(0.0, *options_.fixed_gb),
+                                    remaining);
+    granted.jit_gb = remaining / static_cast<double>(cycles_left_);
+  } else {
+    granted = cost_model_->ArbitrateBandwidth(demand, options_.clamps);
+  }
+  if (cycles_left_ <= 1 && remaining > 0.0) {
+    // Deadline cycle: the next staircase step is about to land, so the
+    // remainder goes through regardless of the clamps.
+    granted.migration_gb = remaining;
+    granted.deadline_binding = true;
+  }
+  cycles_left_ = std::max(1, cycles_left_ - 1);
+  budget_trajectory_.push_back(granted.migration_gb);
+  return granted;
+}
+
+}  // namespace arraydb::reorg

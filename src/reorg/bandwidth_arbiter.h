@@ -1,0 +1,84 @@
+// BandwidthArbiter: the per-reorganization driver of cost-model-priced
+// migration/ingest bandwidth arbitration (§5's leading staircase assumes
+// the migration budget is derived each cycle, not fixed).
+//
+// One arbiter is created per staged MovePlan. It owns the just-in-time
+// deadline countdown — the staircase's plan-ahead p says how many cycles
+// remain until the next step lands, and the whole plan must commit within
+// that window — and asks cluster::CostModel::ArbitrateBandwidth for each
+// cycle's grant:
+//
+//   jit_gb    = remaining / cycles_left           (just-in-time pace)
+//   window_gb = max(0, window - reserve) / (t+δ)  (hides behind queries)
+//   grant     = clamp(max(jit_gb, min(window_gb, remaining)),
+//                     floor_gb, ceiling_gb)
+//
+// On the deadline cycle the whole remainder is granted regardless of the
+// clamps, so migration always completes within the plan-ahead window; a
+// scale-out arriving early force-drains through the runner instead. The
+// legacy fixed budget is available via ArbiterOptions::fixed_gb for A/B
+// comparison (bench_reorg's fixed-vs-arbitrated experiment) — the deadline
+// force-grant still applies, only the per-cycle sizing differs.
+
+#ifndef ARRAYDB_REORG_BANDWIDTH_ARBITER_H_
+#define ARRAYDB_REORG_BANDWIDTH_ARBITER_H_
+
+#include <optional>
+#include <vector>
+
+#include "cluster/cost_model.h"
+
+namespace arraydb::reorg {
+
+struct ArbiterOptions {
+  /// Floor/ceiling clamps forwarded to CostModel::ArbitrateBandwidth.
+  cluster::ArbitrationClamps clamps;
+  /// Staircase plan-ahead: cycles until the next step is expected to land.
+  /// The active plan must fully commit within this many cycles.
+  int plan_ahead_cycles = 3;
+  /// When set, grant this fixed per-cycle budget instead of consulting the
+  /// cost model (the retired constant scheme, kept for comparison). The
+  /// deadline force-grant still applies.
+  std::optional<double> fixed_gb;
+};
+
+class BandwidthArbiter {
+ public:
+  /// `cost_model` must outlive the arbiter.
+  BandwidthArbiter(const cluster::CostModel* cost_model,
+                   ArbiterOptions options);
+
+  /// Starts the deadline countdown for a newly staged plan.
+  void BeginPlan();
+
+  /// Pulls the deadline forward to the next PlanCycle call (e.g. the
+  /// workload is ending and the plan must quiesce with it), so the grant
+  /// and the recorded trajectory reflect the forced drain.
+  void ForceDeadline() { cycles_left_ = 1; }
+
+  /// Computes this cycle's migration grant and advances the countdown.
+  /// `demand.cycles_until_deadline` is overwritten with the arbiter's own
+  /// countdown. On the deadline cycle the remainder is granted in full.
+  cluster::BandwidthBudget PlanCycle(cluster::BandwidthDemand demand);
+
+  /// Cycles left until the just-in-time deadline (1 = this cycle must
+  /// finish the plan).
+  int cycles_left() const { return cycles_left_; }
+
+  const ArbiterOptions& options() const { return options_; }
+
+  /// Per-cycle granted budgets in grant order (the arbitration trajectory).
+  const std::vector<double>& budget_trajectory() const {
+    return budget_trajectory_;
+  }
+
+ private:
+  const cluster::CostModel* cost_model_;
+  ArbiterOptions options_;
+  int cycles_left_ = 1;
+  std::vector<double> budget_trajectory_;
+};
+
+}  // namespace arraydb::reorg
+
+#endif  // ARRAYDB_REORG_BANDWIDTH_ARBITER_H_

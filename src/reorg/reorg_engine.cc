@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -32,20 +34,41 @@ uint64_t MoveDigest(const cluster::ChunkMove& m) {
 IncrementalReorgEngine::IncrementalReorgEngine(
     cluster::Cluster* cluster, const cluster::CostModel* cost_model,
     ReorgOptions options)
-    : cluster_(cluster), cost_model_(cost_model), options_(options) {
+    : cluster_(cluster), cost_model_(cost_model),
+      options_(std::move(options)) {
   ARRAYDB_CHECK(cluster_ != nullptr);
   ARRAYDB_CHECK(cost_model_ != nullptr);
-  ARRAYDB_CHECK_GT(options_.increment_gb, 0.0);
   copy_threads_ = util::ResolveThreadCount(options_.copy_threads);
-  budget_bytes_ = std::max<int64_t>(
-      1, static_cast<int64_t>(std::llround(util::GbToBytes(
-             options_.increment_gb))));
+}
+
+int64_t IncrementalReorgEngine::NextBudgetBytes() {
+  double budget_gb = options_.increment_gb;
+  if (options_.budget_fn) {
+    BudgetRequest request;
+    request.increment_index = summary_.increments;
+    request.remaining_gb = summary_.moved_gb - summary_.committed_gb;
+    budget_gb = options_.budget_fn(request);
+  }
+  if (!std::isfinite(budget_gb) || budget_gb <= 0.0) return 1;
+  const double bytes = util::GbToBytes(budget_gb);
+  // llround is undefined past int64 range; a grant that large means "no
+  // byte limit".
+  if (bytes >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(bytes)));
 }
 
 util::Status IncrementalReorgEngine::Begin(const cluster::MovePlan& plan,
                                            cluster::NodeId first_new_node) {
   if (active()) {
     return util::FailedPrecondition("reorg engine already active");
+  }
+  if (!options_.budget_fn && !(options_.increment_gb > 0.0 &&
+                               std::isfinite(options_.increment_gb))) {
+    return util::InvalidArgument(
+        "ReorgOptions.increment_gb must be positive and finite when no "
+        "budget callback is set");
   }
   if (auto status = cluster_->BeginApply(plan); !status.ok()) return status;
   first_new_node_ = first_new_node;
@@ -59,7 +82,8 @@ util::Status IncrementalReorgEngine::Begin(const cluster::MovePlan& plan,
 }
 
 util::StatusOr<IncrementStats> IncrementalReorgEngine::Step() {
-  auto slice_or = cluster_->AdvanceIncrement(budget_bytes_);
+  const int64_t budget_bytes = NextBudgetBytes();
+  auto slice_or = cluster_->AdvanceIncrement(budget_bytes);
   if (!slice_or.ok()) return slice_or.status();
   const cluster::MovePlan& slice = *slice_or;
 
@@ -67,6 +91,14 @@ util::StatusOr<IncrementStats> IncrementalReorgEngine::Step() {
   stats.index = summary_.increments;
   stats.chunks_moved = slice.num_chunks();
   stats.moved_gb = util::BytesToGb(static_cast<double>(slice.TotalBytes()));
+  stats.budget_gb = util::BytesToGb(static_cast<double>(budget_bytes));
+  if (slice.TotalBytes() > budget_bytes) {
+    // The at-least-one-move rule pushed past the budget; report instead of
+    // silently overshooting.
+    stats.over_budget = true;
+    stats.over_budget_gb = util::BytesToGb(
+        static_cast<double>(slice.TotalBytes() - budget_bytes));
+  }
 
   // Simulated copy: shard the slice over the pool and checksum what each
   // shard "transfers". XOR combination makes the digest independent of shard
@@ -96,6 +128,12 @@ util::StatusOr<IncrementStats> IncrementalReorgEngine::Step() {
   summary_.increments += 1;
   summary_.slice_minutes += stats.minutes;
   summary_.transfer_digest ^= stats.transfer_digest;
+  summary_.committed_gb += stats.moved_gb;
+  summary_.committed_chunks += stats.chunks_moved;
+  if (stats.over_budget) {
+    summary_.over_budget_increments += 1;
+    summary_.over_budget_gb += stats.over_budget_gb;
+  }
   summary_.moved_gb_per_increment.push_back(stats.moved_gb);
   return stats;
 }

@@ -20,6 +20,12 @@
 // Queries issued mid-reorg route through View() (a DualResidencyView), which
 // pins reads to the retained source replicas — see dual_residency.h.
 //
+// Increment sizing comes from ReorgOptions: either the fixed increment_gb
+// or a per-increment budget callback (ReorgOptions::budget_fn), typically
+// bound to a reorg::BandwidthArbiter so the cost model prices the budget
+// each cycle against the ingest demand (see bandwidth_arbiter.h and
+// src/reorg/README.md for the arbitration policy).
+//
 // Exposed follow-ons: NUMA/socket-aware increment ordering and a real async
 // copy pipeline hang off Step()'s thread-pool hook.
 
@@ -27,6 +33,7 @@
 #define ARRAYDB_REORG_REORG_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -36,11 +43,31 @@
 
 namespace arraydb::reorg {
 
+/// The single source of truth for the fixed increment budget: ReorgOptions
+/// and workload::RunnerConfig both default to this constant, so the two can
+/// no longer diverge silently.
+inline constexpr double kDefaultIncrementGb = 8.0;
+
+/// Context handed to a per-increment budget callback before each Step.
+struct BudgetRequest {
+  /// Index the next increment will get (0-based).
+  int increment_index = 0;
+  /// Plan GB not yet committed.
+  double remaining_gb = 0.0;
+};
+
 struct ReorgOptions {
   /// Byte budget per migration increment, in GB. Each increment takes moves
   /// in plan order until the next move would exceed the budget (always at
-  /// least one move per increment).
-  double increment_gb = 8.0;
+  /// least one move per increment). Ignored when budget_fn is set; must be
+  /// positive otherwise (validated at Begin).
+  double increment_gb = kDefaultIncrementGb;
+  /// When set, called before each increment to size it (e.g. bound to a
+  /// BandwidthArbiter's per-cycle grant) instead of the fixed increment_gb.
+  /// Non-positive or non-finite returns are clamped to a one-byte floor —
+  /// the increment still advances — and the overshoot of the at-least-one-
+  /// move rule is reported in IncrementStats/ReorgSummary.
+  std::function<double(const BudgetRequest&)> budget_fn;
   /// Worker threads for the simulated increment copy; 0 = auto
   /// (util::ResolveThreadCount).
   int copy_threads = 0;
@@ -61,6 +88,12 @@ struct IncrementStats {
   /// XOR-combined FNV-1a digest of the transferred chunk metadata (the
   /// simulated copy checksum).
   uint64_t transfer_digest = 0;
+  /// Budget this increment was sized to (after the one-byte clamp), in GB.
+  double budget_gb = 0.0;
+  /// True when the at-least-one-move rule pushed the slice past the budget.
+  bool over_budget = false;
+  /// GB taken beyond the budget (0 when within budget).
+  double over_budget_gb = 0.0;
 };
 
 /// Accounting for a whole reorganization.
@@ -76,6 +109,16 @@ struct ReorgSummary {
   int64_t chunks_moved = 0;
   bool only_to_new_nodes = true;
   uint64_t transfer_digest = 0;
+  /// GB committed so far (moved_gb is the whole plan; the difference is
+  /// what remains).
+  double committed_gb = 0.0;
+  /// Chunks committed so far.
+  int64_t committed_chunks = 0;
+  /// Increments where the at-least-one-move rule exceeded the budget, and
+  /// the total GB taken beyond budgets — previously this overshoot was
+  /// silent.
+  int over_budget_increments = 0;
+  double over_budget_gb = 0.0;
   /// Per-increment moved GB, in commit order (the migration trajectory).
   std::vector<double> moved_gb_per_increment;
 };
@@ -90,6 +133,9 @@ class IncrementalReorgEngine {
   /// Stages `plan` and prices it. `first_new_node` is the id of the first
   /// node added by the triggering scale-out, for the incremental-property
   /// check. An empty plan completes immediately (active() stays false).
+  /// Fails with InvalidArgument when no budget callback is set and
+  /// increment_gb is non-positive or non-finite (previously an unchecked
+  /// constructor abort).
   util::Status Begin(const cluster::MovePlan& plan,
                      cluster::NodeId first_new_node);
 
@@ -120,11 +166,14 @@ class IncrementalReorgEngine {
   const ReorgOptions& options() const { return options_; }
 
  private:
+  /// Byte budget for the next increment: the callback's grant (or the fixed
+  /// increment_gb), clamped to a one-byte floor.
+  int64_t NextBudgetBytes();
+
   cluster::Cluster* cluster_;
   const cluster::CostModel* cost_model_;
   ReorgOptions options_;
   int copy_threads_ = 1;
-  int64_t budget_bytes_ = 0;
   cluster::NodeId first_new_node_ = cluster::kInvalidNode;
   ReorgSummary summary_;
 };

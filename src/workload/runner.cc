@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/elastic_engine.h"
+#include "reorg/bandwidth_arbiter.h"
 #include "reorg/reorg_engine.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -16,6 +17,20 @@ std::vector<double> RunResult::MovedGbTrajectory() const {
   std::vector<double> out;
   out.reserve(cycles.size());
   for (const auto& m : cycles) out.push_back(m.moved_gb);
+  return out;
+}
+
+std::vector<double> RunResult::MigrationBudgetTrajectory() const {
+  std::vector<double> out;
+  out.reserve(cycles.size());
+  for (const auto& m : cycles) out.push_back(m.migration_budget_gb);
+  return out;
+}
+
+std::vector<double> RunResult::IngestStallTrajectory() const {
+  std::vector<double> out;
+  out.reserve(cycles.size());
+  for (const auto& m : cycles) out.push_back(m.ingest_stall_minutes);
   return out;
 }
 
@@ -36,7 +51,33 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
   stair_cfg.plan_ahead = config_.staircase_plan_ahead;
   core::LeadingStaircase staircase(stair_cfg);
 
+  const bool paced =
+      config_.budget_policy != MigrationBudgetPolicy::kFixedDrain;
+  // Paced budgets spread a plan across cycles; that only makes sense when
+  // queries can run mid-reorg through the dual-residency view.
+  ARRAYDB_CHECK(!paced || config_.reorg_mode == ReorgMode::kOverlapped);
+
   RunResult result;
+  // Paced-migration state living across cycles: the engine (its routing
+  // epoch stays pinned until the plan drains), the arbiter owning the
+  // just-in-time deadline countdown, the current cycle's grant (read by the
+  // engine's budget callback), the schedule-invariant work minutes already
+  // charged (pro-rated by bytes per cycle), and the previous cycle's
+  // benchmark minutes (the arbiter's overlap-window estimate).
+  std::optional<reorg::IncrementalReorgEngine> background;
+  std::optional<reorg::BandwidthArbiter> arbiter;
+  double cycle_budget_gb = 0.0;
+  double plan_minutes_charged = 0.0;
+  double prev_benchmark_minutes = 0.0;
+  // Summary totals already attributed to a cycle (charge_migration's
+  // snapshot; reset when a plan begins).
+  struct {
+    double committed_gb = 0.0;
+    int64_t committed_chunks = 0;
+    int increments = 0;
+    int over_budget_increments = 0;
+  } charged;
+
   for (int cycle = 0; cycle < workload.num_cycles(); ++cycle) {
     CycleMetrics m;
     m.cycle = cycle;
@@ -48,6 +89,36 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       batch_gb += util::BytesToGb(static_cast<double>(c.bytes));
     }
     const double projected = engine.cluster().TotalGb() + batch_gb;
+
+    // Accounts the migration executed since the last charge (the snapshot
+    // is tracked in charged, reset when a plan begins): deltas feed the
+    // per-cycle trajectory, and the cycle is charged its byte share of the
+    // schedule-invariant whole-plan price (the completion cycle absorbs
+    // the floating-point residue, so per-cycle charges sum exactly to
+    // work_minutes).
+    const auto charge_migration = [&] {
+      const auto& s = background->summary();
+      const double moved = s.committed_gb - charged.committed_gb;
+      m.moved_gb += moved;
+      m.chunks_moved += s.committed_chunks - charged.committed_chunks;
+      m.reorg_increments += s.increments - charged.increments;
+      m.reorg_over_budget_increments +=
+          s.over_budget_increments - charged.over_budget_increments;
+      m.reorg_only_to_new_nodes =
+          m.reorg_only_to_new_nodes && s.only_to_new_nodes;
+      double charge =
+          s.moved_gb > 0.0 ? s.work_minutes * (moved / s.moved_gb) : 0.0;
+      if (background->pending_chunks() == 0) {
+        charge = s.work_minutes - plan_minutes_charged;
+      }
+      plan_minutes_charged += charge;
+      m.reorg_minutes += charge;
+      engine.RecordReorgMinutes(charge);
+      charged.committed_gb = s.committed_gb;
+      charged.committed_chunks = s.committed_chunks;
+      charged.increments = s.increments;
+      charged.over_budget_increments = s.over_budget_increments;
+    };
 
     // Phase 1 (§3.4): determine whether the cluster is under-provisioned
     // for the incoming insert; if so scale out and redistribute the
@@ -66,9 +137,22 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
                    .nodes_to_add;
     }
 
-    // `background` lives across the insert and query phases in kOverlapped
-    // mode: its routing epoch stays pinned until the cycle drains it.
-    std::optional<reorg::IncrementalReorgEngine> background;
+    // A scale-out arriving while a paced migration is still in flight
+    // force-drains the remainder first: the cluster must quiesce before the
+    // next repartitioning can stage its plan.
+    if (to_add > 0 && background.has_value()) {
+      const auto& s = background->summary();
+      const double remaining = s.moved_gb - s.committed_gb;
+      cycle_budget_gb = remaining;
+      ARRAYDB_CHECK(background->Drain().ok());
+      charge_migration();
+      m.migration_budget_gb += remaining;
+      m.reorg_forced_drain = true;
+      result.forced_drains += 1;
+      background.reset();
+      arbiter.reset();
+    }
+
     if (to_add > 0) {
       if (config_.reorg_mode == ReorgMode::kBlocking) {
         const auto reorg = engine.ScaleOut(to_add);
@@ -81,12 +165,30 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
         reorg::ReorgOptions opts;
         opts.increment_gb = config_.reorg_increment_gb;
         opts.copy_threads = ingest_threads;
+        if (paced) {
+          // Each increment is sized by the cycle grant the budget policy
+          // last computed (the arbiter's, or the fixed per-cycle budget).
+          opts.budget_fn = [&cycle_budget_gb](const reorg::BudgetRequest&) {
+            return cycle_budget_gb;
+          };
+        }
         background.emplace(&engine.mutable_cluster(), &engine.cost_model(),
                            opts);
         const auto begun =
             background->Begin(prep.plan, prep.first_new_node);
         ARRAYDB_CHECK(begun.ok());
-        if (config_.reorg_mode == ReorgMode::kIncremental) {
+        plan_minutes_charged = 0.0;
+        charged = {};
+        if (paced) {
+          reorg::ArbiterOptions arbiter_opts;
+          arbiter_opts.clamps = config_.arbitration;
+          arbiter_opts.plan_ahead_cycles = config_.staircase_plan_ahead;
+          if (config_.budget_policy == MigrationBudgetPolicy::kFixedPaced) {
+            arbiter_opts.fixed_gb = config_.reorg_increment_gb;
+          }
+          arbiter.emplace(&engine.cost_model(), arbiter_opts);
+          arbiter->BeginPlan();
+        } else if (config_.reorg_mode == ReorgMode::kIncremental) {
           // Drain before the insert: same serialized schedule as blocking,
           // but sliced, validated, and tracked per increment.
           ARRAYDB_CHECK(background->Drain().ok());
@@ -103,22 +205,60 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
           }
           migrator.join();
         }
-        const auto& summary = background->summary();
-        m.reorg_minutes = summary.work_minutes;
-        m.moved_gb = summary.moved_gb;
-        m.chunks_moved = summary.chunks_moved;
-        m.reorg_only_to_new_nodes = summary.only_to_new_nodes;
-        m.reorg_increments = summary.increments;
-        engine.RecordReorgMinutes(summary.work_minutes);
-        if (config_.reorg_mode == ReorgMode::kIncremental) {
-          background.reset();
+        if (!paced) {
+          const auto& summary = background->summary();
+          m.reorg_minutes = summary.work_minutes;
+          m.moved_gb = summary.moved_gb;
+          m.chunks_moved = summary.chunks_moved;
+          m.reorg_only_to_new_nodes = summary.only_to_new_nodes;
+          m.reorg_increments = summary.increments;
+          m.reorg_over_budget_increments = summary.over_budget_increments;
+          engine.RecordReorgMinutes(summary.work_minutes);
+          if (config_.reorg_mode == ReorgMode::kIncremental) {
+            background.reset();
+          }
         }
       }
     }
 
-    // Phase 2: ingest the batch. In kOverlapped mode all increments have
-    // committed (placement decisions match the blocking schedule exactly);
-    // only the routing epoch remains pinned for the query phase.
+    // Paced policies: one budgeted increment per cycle (the whole remainder
+    // on the deadline cycle), overlapped with the batch placement prewarm
+    // exactly like the drain path. The workload's last cycle is always a
+    // deadline: the plan quiesces with the run, so no migration work (or
+    // its charge) is lost off the end of the experiment.
+    if (paced && background.has_value() && background->pending_chunks() > 0) {
+      const auto& s = background->summary();
+      cluster::BandwidthDemand demand;
+      demand.remaining_migration_gb = s.moved_gb - s.committed_gb;
+      demand.projected_ingest_gb = batch_gb;
+      demand.overlap_window_minutes = prev_benchmark_minutes;
+      demand.num_nodes = engine.cluster().num_nodes();
+      if (cycle + 1 >= workload.num_cycles()) arbiter->ForceDeadline();
+      const bool deadline = arbiter->cycles_left() <= 1;
+      const auto granted = arbiter->PlanCycle(demand);
+      cycle_budget_gb = granted.migration_gb;
+      m.migration_budget_gb += granted.migration_gb;
+      std::thread migrator([&background, deadline] {
+        if (deadline) {
+          ARRAYDB_CHECK(background->StepAll().ok());
+        } else {
+          ARRAYDB_CHECK(background->Step().ok());
+        }
+      });
+      if (ingest_threads > 1) {
+        engine.partitioner().PrewarmPlacement(batch, ingest_threads);
+      }
+      migrator.join();
+      charge_migration();
+    }
+
+    // Phase 2: ingest the batch. In kOverlapped mode with the legacy drain
+    // policy all increments have committed (placement decisions match the
+    // blocking schedule exactly) and only the routing epoch remains pinned
+    // for the query phase; under the paced policies the plan may still
+    // hold uncommitted moves, so the insert lands on a partially migrated
+    // cluster — placement consults authoritative owners, queries stay on
+    // the pinned dual-residency snapshot.
     const auto insert = engine.IngestBatch(batch);
     m.insert_minutes = insert.minutes;
     m.load_gb = engine.cluster().TotalGb();
@@ -148,21 +288,31 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       }
     }
 
-    // The migration window closes with the cycle: release the routing epoch.
-    if (background.has_value()) {
+    // The migration window closes once the plan has drained: release the
+    // routing epoch. Paced plans with moves remaining stay pinned across
+    // cycles (queries keep routing through the dual-residency view).
+    if (background.has_value() &&
+        (!paced || background->pending_chunks() == 0)) {
       ARRAYDB_CHECK(background->Finish().ok());
       background.reset();
+      arbiter.reset();
     }
 
     // Overlap credit: in kOverlapped mode the query workload executed during
     // the migration window, so the cycle's elapsed time only pays the longer
-    // of the two.
+    // of the two. The credit comes from the migration minutes actually
+    // executed this cycle (m.reorg_minutes is the executed share, not the
+    // whole-plan price), so it matches the trajectory when migration is
+    // paced across cycles. What the query window does not hide lands on the
+    // ingest path: the stall metric.
     const double benchmark_minutes = m.spj_minutes + m.science_minutes;
     if (config_.reorg_mode == ReorgMode::kOverlapped) {
       m.overlap_saved_minutes = std::min(m.reorg_minutes, benchmark_minutes);
     }
+    m.ingest_stall_minutes = m.reorg_minutes - m.overlap_saved_minutes;
     m.elapsed_minutes = m.insert_minutes + m.reorg_minutes +
                         benchmark_minutes - m.overlap_saved_minutes;
+    prev_benchmark_minutes = benchmark_minutes;
 
     // Eq. 1: N_i * elapsed_i, accumulated in node hours (elapsed equals
     // I_i + r_i + w_i outside kOverlapped).
@@ -175,6 +325,8 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     result.total_science_minutes += m.science_minutes;
     result.total_reorg_increments += m.reorg_increments;
     result.total_overlap_saved_minutes += m.overlap_saved_minutes;
+    result.total_ingest_stall_minutes += m.ingest_stall_minutes;
+    result.total_over_budget_increments += m.reorg_over_budget_increments;
     result.total_elapsed_minutes += m.elapsed_minutes;
     result.mean_rsd += m.rsd;
     result.cycles.push_back(std::move(m));

@@ -11,6 +11,15 @@
 // subsequent re-derivation free), and the cycle's queries execute mid-reorg
 // through the dual-residency routing view, so in simulated time the query
 // workload overlaps the migration (elapsed = insert + max(reorg, queries)).
+//
+// In kOverlapped mode the per-cycle migration budget comes from a
+// MigrationBudgetPolicy: kFixedDrain (legacy, whole plan in the scale-out
+// cycle), or the paced policies kFixedPaced/kArbitrated, which spread the
+// plan across cycles — the routing epoch stays pinned until the plan
+// drains, at the latest on the staircase plan-ahead deadline — and record
+// the migration_budget_gb / ingest_stall_minutes trajectories. kArbitrated
+// prices each cycle's budget through CostModel::ArbitrateBandwidth so
+// migration never starves the ingest (and vice versa).
 
 #ifndef ARRAYDB_WORKLOAD_RUNNER_H_
 #define ARRAYDB_WORKLOAD_RUNNER_H_
@@ -23,6 +32,7 @@
 #include "core/partitioner_factory.h"
 #include "core/provisioner.h"
 #include "exec/engine.h"
+#include "reorg/reorg_engine.h"
 #include "workload/workload.h"
 
 namespace arraydb::workload {
@@ -52,6 +62,24 @@ enum class ReorgMode {
   kOverlapped,
 };
 
+/// How the per-cycle migration byte budget is derived in the incremental
+/// modes (kIncremental/kOverlapped).
+enum class MigrationBudgetPolicy {
+  /// Legacy: the whole MovePlan drains within its scale-out cycle, sliced
+  /// into fixed reorg_increment_gb increments.
+  kFixedDrain,
+  /// Pace the plan across cycles — one fixed reorg_increment_gb increment
+  /// per cycle — force-draining the remainder on the staircase plan-ahead
+  /// deadline (or when an early scale-out needs the cluster quiesced).
+  /// Requires ReorgMode::kOverlapped.
+  kFixedPaced,
+  /// Pace the plan across cycles with per-cycle budgets from
+  /// cluster::CostModel::ArbitrateBandwidth (via reorg::BandwidthArbiter):
+  /// migration finishes just-in-time for the next staircase step without
+  /// starving the cycle's ingest. Requires ReorgMode::kOverlapped.
+  kArbitrated,
+};
+
 struct RunnerConfig {
   core::PartitionerKind partitioner =
       core::PartitionerKind::kConsistentHash;
@@ -71,8 +99,16 @@ struct RunnerConfig {
   /// Reorganization execution mode; metrics and query results are
   /// deterministic for every mode, thread count, and increment size.
   ReorgMode reorg_mode = ReorgMode::kBlocking;
-  /// Byte budget per migration increment (GB) for the incremental modes.
-  double reorg_increment_gb = 8.0;
+  /// Per-cycle migration budget derivation for the incremental modes. The
+  /// paced policies require reorg_mode == kOverlapped.
+  MigrationBudgetPolicy budget_policy = MigrationBudgetPolicy::kFixedDrain;
+  /// Byte budget per migration increment (GB) for the fixed budget
+  /// policies. Defaults to the same constant as ReorgOptions.increment_gb
+  /// (reorg::kDefaultIncrementGb) and is forwarded explicitly, so the two
+  /// cannot diverge silently.
+  double reorg_increment_gb = reorg::kDefaultIncrementGb;
+  /// Floor/ceiling clamps for MigrationBudgetPolicy::kArbitrated.
+  cluster::ArbitrationClamps arbitration;
   cluster::CostParams cost_params;
   exec::EngineParams engine_params;
   bool run_queries = true;
@@ -95,8 +131,23 @@ struct CycleMetrics {
   /// Migration increments committed this cycle (0 in blocking mode; depends
   /// on reorg_increment_gb — the one schedule-dependent metric).
   int reorg_increments = 0;
+  /// Migration GB the budget policy granted this cycle (paced policies
+  /// only; 0 when no migration was pending).
+  double migration_budget_gb = 0.0;
+  /// Migration minutes not hidden behind the cycle's query window — the
+  /// time the ingest pipeline waits on migration traffic:
+  /// reorg_minutes - overlap_saved_minutes.
+  double ingest_stall_minutes = 0.0;
+  /// Increments whose at-least-one-move slice exceeded the granted budget.
+  int reorg_over_budget_increments = 0;
+  /// True when a scale-out arrived while a paced migration was still in
+  /// flight and the remainder was force-drained this cycle.
+  bool reorg_forced_drain = false;
   /// Simulated minutes saved by overlapping queries with migration
-  /// (kOverlapped only): min(reorg_minutes, benchmark minutes).
+  /// (kOverlapped only): min(migration minutes actually executed this
+  /// cycle, benchmark minutes) — computed from the increments that ran,
+  /// not the whole-plan price, so the credit matches the trajectory when
+  /// migration is paced across cycles.
   double overlap_saved_minutes = 0.0;
   /// Wall time of the cycle: insert + reorg + benchmarks, minus the overlap
   /// credit. Equals the serial sum outside kOverlapped.
@@ -116,6 +167,11 @@ struct RunResult {
   int final_nodes = 0;
   int64_t total_reorg_increments = 0;
   double total_overlap_saved_minutes = 0.0;
+  /// Total minutes the ingest pipeline waited on migration traffic.
+  double total_ingest_stall_minutes = 0.0;
+  int64_t total_over_budget_increments = 0;
+  /// Paced migrations force-drained by an early scale-out.
+  int forced_drains = 0;
   /// Sum of per-cycle elapsed times; equals total_workload_minutes() outside
   /// kOverlapped, strictly below it when queries overlapped a migration.
   double total_elapsed_minutes = 0.0;
@@ -130,6 +186,12 @@ struct RunResult {
 
   /// Per-cycle moved GB, in cycle order (the reorganization trajectory).
   std::vector<double> MovedGbTrajectory() const;
+
+  /// Per-cycle granted migration budgets (the arbitration trajectory).
+  std::vector<double> MigrationBudgetTrajectory() const;
+
+  /// Per-cycle ingest stall minutes.
+  std::vector<double> IngestStallTrajectory() const;
 };
 
 class WorkloadRunner {

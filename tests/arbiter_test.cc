@@ -1,0 +1,432 @@
+// Tests for cost-model-driven migration/ingest bandwidth arbitration:
+// CostModel::ArbitrateBandwidth (budgets monotone in ingest load, floor/
+// ceiling clamps, just-in-time pace), the BandwidthArbiter deadline
+// countdown, the paced WorkloadRunner policies (migration completes within
+// the plan-ahead window, arbitration beats the fixed budget on ingest
+// stall), and bit-identical mid-reorg query results while a paced
+// migration interleaves with inserts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "exec/engine.h"
+#include "reorg/bandwidth_arbiter.h"
+#include "reorg/reorg_engine.h"
+#include "util/units.h"
+#include "workload/ais.h"
+#include "workload/runner.h"
+
+namespace arraydb::reorg {
+namespace {
+
+using cluster::ArbitrationClamps;
+using cluster::BandwidthBudget;
+using cluster::BandwidthDemand;
+using cluster::ChunkMove;
+using cluster::Cluster;
+using cluster::CostModel;
+using cluster::MovePlan;
+
+constexpr int64_t kMiB = 1024 * 1024;
+
+BandwidthDemand BaseDemand() {
+  BandwidthDemand demand;
+  demand.remaining_migration_gb = 48.0;
+  demand.projected_ingest_gb = 20.0;
+  demand.cycles_until_deadline = 3;
+  demand.overlap_window_minutes = 30.0;
+  demand.num_nodes = 8;
+  return demand;
+}
+
+TEST(ArbitrateBandwidthTest, GrantsNothingWithoutRemainingWork) {
+  CostModel model;
+  BandwidthDemand demand = BaseDemand();
+  demand.remaining_migration_gb = 0.0;
+  const BandwidthBudget budget = model.ArbitrateBandwidth(demand);
+  EXPECT_DOUBLE_EQ(budget.migration_gb, 0.0);
+  EXPECT_DOUBLE_EQ(budget.predicted_stall_minutes, 0.0);
+}
+
+TEST(ArbitrateBandwidthTest, BudgetsMonotoneNonIncreasingInIngestLoad) {
+  CostModel model;
+  double prev = std::numeric_limits<double>::infinity();
+  double first = 0.0, last = 0.0;
+  for (double ingest = 0.0; ingest <= 200.0; ingest += 5.0) {
+    BandwidthDemand demand = BaseDemand();
+    demand.projected_ingest_gb = ingest;
+    const double granted = model.ArbitrateBandwidth(demand).migration_gb;
+    EXPECT_LE(granted, prev) << "ingest " << ingest;
+    EXPECT_GT(granted, 0.0) << "ingest " << ingest;
+    prev = granted;
+    if (ingest == 0.0) first = granted;
+    last = granted;
+  }
+  // The policy actually responds: an ingest-heavy cycle gets a strictly
+  // smaller migration grant than an idle one.
+  EXPECT_LT(last, first);
+}
+
+TEST(ArbitrateBandwidthTest, NeverBelowJustInTimePace) {
+  CostModel model;
+  BandwidthDemand demand = BaseDemand();
+  demand.overlap_window_minutes = 0.0;  // No free window at all.
+  demand.projected_ingest_gb = 500.0;   // Ingest-saturated cycle.
+  const BandwidthBudget budget = model.ArbitrateBandwidth(demand);
+  EXPECT_DOUBLE_EQ(budget.jit_gb, 16.0);  // 48 GB over 3 cycles.
+  EXPECT_GE(budget.migration_gb, budget.jit_gb);
+  EXPECT_TRUE(budget.deadline_binding);
+  EXPECT_GT(budget.predicted_stall_minutes, 0.0);
+}
+
+TEST(ArbitrateBandwidthTest, FreeWindowAcceleratesBeyondJustInTime) {
+  CostModel model;
+  BandwidthDemand demand = BaseDemand();
+  demand.projected_ingest_gb = 0.0;
+  demand.overlap_window_minutes = 1000.0;  // Window swallows the plan.
+  ArbitrationClamps clamps;
+  clamps.ceiling_gb = 1000.0;
+  const BandwidthBudget budget = model.ArbitrateBandwidth(demand, clamps);
+  // Everything remaining fits behind the queries: grant it all, stall-free.
+  EXPECT_DOUBLE_EQ(budget.migration_gb, demand.remaining_migration_gb);
+  EXPECT_FALSE(budget.deadline_binding);
+  EXPECT_DOUBLE_EQ(budget.predicted_stall_minutes, 0.0);
+}
+
+TEST(ArbitrateBandwidthTest, FloorAndCeilingClampsHold) {
+  CostModel model;
+  ArbitrationClamps clamps;
+  clamps.floor_gb = 2.0;
+  clamps.ceiling_gb = 10.0;
+
+  // Distant deadline and no window: just-in-time pace would be ~0, but the
+  // floor keeps migration alive.
+  BandwidthDemand demand = BaseDemand();
+  demand.cycles_until_deadline = 1000;
+  demand.overlap_window_minutes = 0.0;
+  EXPECT_DOUBLE_EQ(model.ArbitrateBandwidth(demand, clamps).migration_gb,
+                   2.0);
+
+  // Huge window: the ceiling keeps migration from monopolizing the cycle.
+  demand.overlap_window_minutes = 1e6;
+  EXPECT_DOUBLE_EQ(model.ArbitrateBandwidth(demand, clamps).migration_gb,
+                   10.0);
+
+  // Less remaining than the floor: grant only what remains.
+  demand.remaining_migration_gb = 0.5;
+  demand.overlap_window_minutes = 0.0;
+  EXPECT_DOUBLE_EQ(model.ArbitrateBandwidth(demand, clamps).migration_gb,
+                   0.5);
+}
+
+TEST(BandwidthArbiterTest, DeadlineCycleGrantsTheRemainder) {
+  CostModel model;
+  ArbiterOptions options;
+  options.plan_ahead_cycles = 3;
+  options.clamps.floor_gb = 0.25;
+  options.clamps.ceiling_gb = 8.0;  // Tight: jit alone cannot finish by p.
+  BandwidthArbiter arbiter(&model, options);
+  arbiter.BeginPlan();
+
+  double remaining = 48.0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    BandwidthDemand demand = BaseDemand();
+    demand.remaining_migration_gb = remaining;
+    demand.overlap_window_minutes = 0.0;
+    const BandwidthBudget granted = arbiter.PlanCycle(demand);
+    if (cycle < 2) {
+      EXPECT_LE(granted.migration_gb, 8.0) << "cycle " << cycle;
+    } else {
+      // Deadline: the clamps yield to just-in-time completion.
+      EXPECT_DOUBLE_EQ(granted.migration_gb, remaining);
+      EXPECT_TRUE(granted.deadline_binding);
+    }
+    remaining -= granted.migration_gb;
+  }
+  EXPECT_DOUBLE_EQ(remaining, 0.0);
+  EXPECT_EQ(arbiter.budget_trajectory().size(), 3u);
+}
+
+TEST(BandwidthArbiterTest, FixedPolicyGrantsTheConstantUntilDeadline) {
+  CostModel model;
+  ArbiterOptions options;
+  options.plan_ahead_cycles = 3;
+  options.fixed_gb = 8.0;
+  BandwidthArbiter arbiter(&model, options);
+  arbiter.BeginPlan();
+
+  BandwidthDemand demand = BaseDemand();
+  demand.remaining_migration_gb = 20.0;
+  EXPECT_DOUBLE_EQ(arbiter.PlanCycle(demand).migration_gb, 8.0);
+  demand.remaining_migration_gb = 12.0;
+  EXPECT_DOUBLE_EQ(arbiter.PlanCycle(demand).migration_gb, 8.0);
+  demand.remaining_migration_gb = 4.0;
+  const BandwidthBudget last = arbiter.PlanCycle(demand);
+  EXPECT_DOUBLE_EQ(last.migration_gb, 4.0);
+  EXPECT_TRUE(last.deadline_binding);
+}
+
+// Paced migration interleaved with fresh inserts: queries through the
+// dual-residency view must stay bit-identical to a cluster that never
+// migrated but received the same inserts.
+TEST(ArbitratedReorgTest, MidReorgPacedQueriesMatchQuiescedCluster) {
+  Cluster migrating(2, 1.0);
+  Cluster quiesced(2, 1.0);
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(migrating.PlaceChunk({i}, 64 * kMiB, 0).ok());
+    ASSERT_TRUE(quiesced.PlaceChunk({i}, 64 * kMiB, 0).ok());
+  }
+  const cluster::NodeId first_new = migrating.AddNodes(2);
+  quiesced.AddNodes(2);
+  MovePlan plan;
+  for (int64_t i = 4; i < 8; ++i) {
+    plan.Add(ChunkMove{{i}, 64 * kMiB, 0, first_new});
+  }
+
+  CostModel model;
+  ReorgOptions options;
+  options.budget_fn = [](const BudgetRequest&) {
+    return util::BytesToGb(64.0 * kMiB);  // One move per increment.
+  };
+  IncrementalReorgEngine engine(&migrating, &model, options);
+  ASSERT_TRUE(engine.Begin(plan, first_new).ok());
+
+  exec::QueryEngine qe;
+  array::ArraySchema schema("s", {array::DimensionDesc{"x", 0, 63, 1, false}},
+                            {array::AttributeDesc{
+                                "v", array::AttrType::kDouble}});
+  const auto view = engine.View();
+  int64_t next_coord = 100;
+  while (engine.pending_chunks() > 0) {
+    ASSERT_TRUE(engine.Step().ok());
+    // A fresh insert lands between increments, on both clusters alike.
+    ASSERT_TRUE(migrating.PlaceChunk({next_coord}, 8 * kMiB, 1).ok());
+    ASSERT_TRUE(quiesced.PlaceChunk({next_coord}, 8 * kMiB, 1).ok());
+    ++next_coord;
+    for (const auto kind :
+         {exec::QueryKind::kFilter, exec::QueryKind::kWindow,
+          exec::QueryKind::kGroupBy}) {
+      exec::QuerySpec spec;
+      spec.kind = kind;
+      spec.region = exec::ChunkRegion::All(1);
+      const auto mid = qe.Simulate(spec, view, schema);
+      const auto quiet = qe.Simulate(spec, quiesced, schema);
+      EXPECT_EQ(mid.minutes, quiet.minutes);
+      EXPECT_EQ(mid.scanned_gb, quiet.scanned_gb);
+      EXPECT_EQ(mid.chunks_touched, quiet.chunks_touched);
+      EXPECT_EQ(mid.remote_neighbor_fetches, quiet.remote_neighbor_fetches);
+    }
+  }
+  ASSERT_TRUE(engine.Finish().ok());
+  // Released: the migrated chunks now read from the new node.
+  EXPECT_EQ(view.OwnerOf({4}), first_new);
+}
+
+}  // namespace
+}  // namespace arraydb::reorg
+
+namespace arraydb::workload {
+namespace {
+
+constexpr int64_t kMiB = 1024 * 1024;
+
+// The bench's ingest-heavy staircase setup, shrunk only in spirit: a
+// bandwidth-constrained cluster where migration and ingest actually
+// compete for link time.
+RunnerConfig HeavyStaircaseConfig(MigrationBudgetPolicy policy) {
+  RunnerConfig cfg;
+  cfg.partitioner = core::PartitionerKind::kHilbertCurve;
+  cfg.policy = ScaleOutPolicy::kStaircase;
+  cfg.initial_nodes = 2;
+  cfg.max_nodes = 64;
+  cfg.reorg_mode = ReorgMode::kOverlapped;
+  cfg.budget_policy = policy;
+  cfg.cost_params.net_minutes_per_gb = 1.0;
+  return cfg;
+}
+
+AisWorkload HeavyAis() {
+  AisConfig heavy;
+  heavy.gb_per_month = 25.0;
+  return AisWorkload(heavy);
+}
+
+TEST(ArbitratedRunnerTest, MigrationCompletesWithinThePlanAheadWindow) {
+  const AisWorkload ais = HeavyAis();
+  const RunnerConfig cfg =
+      HeavyStaircaseConfig(MigrationBudgetPolicy::kArbitrated);
+  const auto result = WorkloadRunner(cfg).Run(ais);
+
+  // Every cycle that executed migration lies within plan_ahead cycles of a
+  // scale-out (the just-in-time deadline), and nothing was force-drained
+  // by an early scale-out.
+  EXPECT_EQ(result.forced_drains, 0);
+  std::vector<int> scaleouts;
+  for (const auto& m : result.cycles) {
+    if (m.nodes_after > m.nodes_before) scaleouts.push_back(m.cycle);
+  }
+  ASSERT_FALSE(scaleouts.empty());
+  for (const auto& m : result.cycles) {
+    if (m.moved_gb <= 0.0) continue;
+    bool within_window = false;
+    for (const int s : scaleouts) {
+      if (m.cycle >= s && m.cycle < s + cfg.staircase_plan_ahead) {
+        within_window = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(within_window) << "cycle " << m.cycle
+                               << " migrated outside every deadline window";
+  }
+}
+
+TEST(ArbitratedRunnerTest, ArbitrationReducesIngestStall) {
+  const AisWorkload ais = HeavyAis();
+  const auto fixed =
+      WorkloadRunner(HeavyStaircaseConfig(MigrationBudgetPolicy::kFixedDrain))
+          .Run(ais);
+  const auto arbitrated =
+      WorkloadRunner(HeavyStaircaseConfig(MigrationBudgetPolicy::kArbitrated))
+          .Run(ais);
+
+  // The acceptance property: lower ingest stall at identical total work.
+  EXPECT_GT(fixed.total_ingest_stall_minutes, 0.0);
+  EXPECT_LT(arbitrated.total_ingest_stall_minutes,
+            fixed.total_ingest_stall_minutes);
+  // Placement (and so the plans) are identical; the pro-rated per-cycle
+  // charges must sum back to the same schedule-invariant price.
+  double fixed_moved = 0.0, arb_moved = 0.0;
+  for (const auto& m : fixed.cycles) fixed_moved += m.moved_gb;
+  for (const auto& m : arbitrated.cycles) arb_moved += m.moved_gb;
+  EXPECT_NEAR(arb_moved, fixed_moved, 1e-9);
+  EXPECT_NEAR(arbitrated.total_reorg_minutes, fixed.total_reorg_minutes,
+              1e-9);
+  EXPECT_EQ(arbitrated.final_nodes, fixed.final_nodes);
+}
+
+TEST(ArbitratedRunnerTest, PerCycleAccountingStaysConsistent) {
+  const AisWorkload ais = HeavyAis();
+  const auto result =
+      WorkloadRunner(HeavyStaircaseConfig(MigrationBudgetPolicy::kArbitrated))
+          .Run(ais);
+  bool saw_budget = false;
+  for (const auto& m : result.cycles) {
+    const double bench = m.spj_minutes + m.science_minutes;
+    // Overlap credit from the migration actually executed this cycle.
+    EXPECT_DOUBLE_EQ(m.overlap_saved_minutes,
+                     std::min(m.reorg_minutes, bench));
+    EXPECT_DOUBLE_EQ(m.ingest_stall_minutes,
+                     m.reorg_minutes - m.overlap_saved_minutes);
+    EXPECT_NEAR(m.elapsed_minutes,
+                m.insert_minutes + m.reorg_minutes + bench -
+                    m.overlap_saved_minutes,
+                1e-12);
+    if (m.moved_gb > 0.0) {
+      EXPECT_GT(m.migration_budget_gb, 0.0) << "cycle " << m.cycle;
+      saw_budget = true;
+    }
+  }
+  EXPECT_TRUE(saw_budget);
+  const auto budgets = result.MigrationBudgetTrajectory();
+  ASSERT_EQ(budgets.size(), result.cycles.size());
+}
+
+// A workload whose only scale-out lands on its final cycle: without the
+// workload-end deadline, a paced plan would still be in flight when the
+// run ends and its remaining work would silently vanish from the metrics.
+class TailScaleOutWorkload final : public Workload {
+ public:
+  TailScaleOutWorkload()
+      : schema_("tail",
+                {array::DimensionDesc{"t", 0, 1023, 1, false},
+                 array::DimensionDesc{"x", 0, 63, 1, false}},
+                {array::AttributeDesc{"v", array::AttrType::kDouble}}) {}
+
+  const char* name() const override { return "tail-scale-out"; }
+  const array::ArraySchema& schema() const override { return schema_; }
+  int num_cycles() const override { return 4; }
+  double node_capacity_gb() const override { return 1.0; }
+
+  std::vector<array::ChunkInfo> GenerateBatch(int cycle) const override {
+    // 2 nodes x 1 GB: cycles 0-2 stay under capacity; cycle 3 crosses it.
+    std::vector<array::ChunkInfo> batch;
+    const int chunks = cycle == 3 ? 10 : 4;
+    for (int i = 0; i < chunks; ++i) {
+      array::ChunkInfo info;
+      info.coords = {static_cast<int64_t>(cycle),
+                     static_cast<int64_t>(cycle * 16 + i)};
+      info.cell_count = 1;
+      info.bytes = 128 * kMiB;
+      batch.push_back(info);
+    }
+    return batch;
+  }
+  std::vector<exec::QuerySpec> SpjQueries(int) const override { return {}; }
+  std::vector<exec::QuerySpec> ScienceQueries(int) const override {
+    return {};
+  }
+
+ private:
+  array::ArraySchema schema_;
+};
+
+TEST(ArbitratedRunnerTest, PlanStartedOnTheFinalCycleDrainsWithTheRun) {
+  TailScaleOutWorkload workload;
+  RunnerConfig cfg;
+  cfg.partitioner = core::PartitionerKind::kHilbertCurve;
+  cfg.policy = ScaleOutPolicy::kCapacityTrigger;
+  cfg.initial_nodes = 2;
+  cfg.nodes_per_scaleout = 2;
+  cfg.max_nodes = 8;
+  cfg.reorg_mode = ReorgMode::kOverlapped;
+  cfg.run_queries = false;  // Window = 0: pacing would stretch past the end.
+
+  cfg.budget_policy = MigrationBudgetPolicy::kFixedDrain;
+  const auto drained = WorkloadRunner(cfg).Run(workload);
+  cfg.budget_policy = MigrationBudgetPolicy::kArbitrated;
+  const auto arbitrated = WorkloadRunner(cfg).Run(workload);
+
+  // The scale-out happened on the last cycle in both runs...
+  ASSERT_GT(drained.cycles.back().moved_gb, 0.0);
+  // ...and the paced run still committed (and charged) the whole plan.
+  EXPECT_EQ(arbitrated.cycles.back().moved_gb,
+            drained.cycles.back().moved_gb);
+  EXPECT_EQ(arbitrated.cycles.back().chunks_moved,
+            drained.cycles.back().chunks_moved);
+  EXPECT_NEAR(arbitrated.total_reorg_minutes, drained.total_reorg_minutes,
+              1e-9);
+  EXPECT_EQ(arbitrated.forced_drains, 0);
+}
+
+TEST(ArbitratedRunnerTest, DeterministicAcrossThreadCounts) {
+  const AisWorkload ais = HeavyAis();
+  std::vector<RunResult> results;
+  for (const int threads : {1, 4, 0}) {
+    RunnerConfig cfg =
+        HeavyStaircaseConfig(MigrationBudgetPolicy::kArbitrated);
+    cfg.ingest_threads = threads;
+    results.push_back(WorkloadRunner(cfg).Run(ais));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].cycles.size(), results[0].cycles.size());
+    EXPECT_EQ(results[i].total_ingest_stall_minutes,
+              results[0].total_ingest_stall_minutes);
+    EXPECT_EQ(results[i].total_reorg_minutes,
+              results[0].total_reorg_minutes);
+    EXPECT_EQ(results[i].total_elapsed_minutes,
+              results[0].total_elapsed_minutes);
+    EXPECT_EQ(results[i].MigrationBudgetTrajectory(),
+              results[0].MigrationBudgetTrajectory());
+    EXPECT_EQ(results[i].IngestStallTrajectory(),
+              results[0].IngestStallTrajectory());
+  }
+}
+
+}  // namespace
+}  // namespace arraydb::workload

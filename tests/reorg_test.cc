@@ -212,6 +212,104 @@ TEST(ReorgEngineTest, SingleIncrementWhenBudgetCoversThePlan) {
                    engine.summary().work_minutes);
 }
 
+TEST(ReorgEngineTest, RejectsNonPositiveIncrementBudgetAtBegin) {
+  // Previously an unchecked constructor abort; now a clean InvalidArgument
+  // that leaves the cluster idle.
+  for (const double bad : {0.0, -8.0}) {
+    Fixture f;
+    CostModel model;
+    ReorgOptions opts;
+    opts.increment_gb = bad;
+    IncrementalReorgEngine engine(&f.cluster, &model, opts);
+    EXPECT_EQ(engine.Begin(f.plan, f.first_new).code(),
+              util::StatusCode::kInvalidArgument)
+        << bad;
+    EXPECT_FALSE(f.cluster.reorg_active());
+    // The cluster is untouched: a fresh engine still reorganizes.
+    IncrementalReorgEngine ok(&f.cluster, &model);
+    ASSERT_TRUE(ok.Begin(f.plan, f.first_new).ok());
+    ASSERT_TRUE(ok.Drain().ok());
+  }
+}
+
+TEST(ReorgEngineTest, OverBudgetIncrementsAreReported) {
+  // A budget below one move still advances (the at-least-one-move rule),
+  // but the overshoot is no longer silent.
+  Fixture f;
+  CostModel model;
+  ReorgOptions opts;
+  opts.increment_gb = util::BytesToGb(1.0);  // One byte.
+  IncrementalReorgEngine engine(&f.cluster, &model, opts);
+  ASSERT_TRUE(engine.Begin(f.plan, f.first_new).ok());
+  while (engine.pending_chunks() > 0) {
+    auto stats = engine.Step();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE(stats->over_budget);
+    EXPECT_NEAR(stats->over_budget_gb,
+                util::BytesToGb(64.0 * kMiB - 1.0), 1e-12);
+  }
+  const auto& s = engine.summary();
+  EXPECT_EQ(s.over_budget_increments, 4);
+  EXPECT_NEAR(s.over_budget_gb, 4.0 * util::BytesToGb(64.0 * kMiB - 1.0),
+              1e-12);
+  ASSERT_TRUE(engine.Finish().ok());
+}
+
+TEST(ReorgEngineTest, WithinBudgetIncrementsReportNoOvershoot) {
+  Fixture f;
+  CostModel model;
+  ReorgOptions opts;
+  opts.increment_gb = util::BytesToGb(128.0 * kMiB);
+  IncrementalReorgEngine engine(&f.cluster, &model, opts);
+  ASSERT_TRUE(engine.Begin(f.plan, f.first_new).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(engine.summary().over_budget_increments, 0);
+  EXPECT_DOUBLE_EQ(engine.summary().over_budget_gb, 0.0);
+}
+
+TEST(ReorgEngineTest, NonPositiveCallbackBudgetClampsToOneByteFloor) {
+  Fixture f;
+  CostModel model;
+  ReorgOptions opts;
+  opts.increment_gb = -1.0;  // Irrelevant: the callback takes precedence.
+  opts.budget_fn = [](const BudgetRequest&) { return -5.0; };
+  IncrementalReorgEngine engine(&f.cluster, &model, opts);
+  ASSERT_TRUE(engine.Begin(f.plan, f.first_new).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  const auto& s = engine.summary();
+  // Clamped to the one-byte floor: one move per increment, all flagged.
+  EXPECT_EQ(s.increments, 4);
+  EXPECT_EQ(s.over_budget_increments, 4);
+  EXPECT_EQ(s.chunks_moved, 4);
+}
+
+TEST(ReorgEngineTest, BudgetCallbackSizesEachIncrement) {
+  Fixture f;
+  CostModel model;
+  std::vector<double> seen_remaining;
+  ReorgOptions opts;
+  opts.budget_fn = [&seen_remaining](const BudgetRequest& request) {
+    seen_remaining.push_back(request.remaining_gb);
+    // First increment: two chunks; afterwards: everything left.
+    return request.increment_index == 0 ? util::BytesToGb(128.0 * kMiB)
+                                        : 1024.0;
+  };
+  IncrementalReorgEngine engine(&f.cluster, &model, opts);
+  ASSERT_TRUE(engine.Begin(f.plan, f.first_new).ok());
+  auto first = engine.Step();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->chunks_moved, 2);
+  EXPECT_FALSE(first->over_budget);
+  auto second = engine.Step();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->chunks_moved, 2);
+  ASSERT_TRUE(engine.Finish().ok());
+  // The callback saw the remaining work shrink.
+  ASSERT_EQ(seen_remaining.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen_remaining[0], util::BytesToGb(4.0 * 64.0 * kMiB));
+  EXPECT_DOUBLE_EQ(seen_remaining[1], util::BytesToGb(2.0 * 64.0 * kMiB));
+}
+
 TEST(ReorgEngineTest, EmptyPlanCompletesImmediately) {
   Fixture f;
   CostModel model;

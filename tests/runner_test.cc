@@ -5,12 +5,23 @@
 
 #include <map>
 
+#include "reorg/reorg_engine.h"
 #include "workload/ais.h"
 #include "workload/modis.h"
 #include "workload/runner.h"
 
 namespace arraydb::workload {
 namespace {
+
+TEST(RunnerConfigTest, IncrementBudgetDefaultsShareOneSourceOfTruth) {
+  // Regression: RunnerConfig.reorg_increment_gb and ReorgOptions.
+  // increment_gb once carried independent literals that could silently
+  // diverge; both now default to reorg::kDefaultIncrementGb.
+  EXPECT_DOUBLE_EQ(RunnerConfig().reorg_increment_gb,
+                   reorg::ReorgOptions().increment_gb);
+  EXPECT_DOUBLE_EQ(reorg::ReorgOptions().increment_gb,
+                   reorg::kDefaultIncrementGb);
+}
 
 RunnerConfig BaseConfig(core::PartitionerKind kind) {
   RunnerConfig cfg;
