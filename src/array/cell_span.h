@@ -11,6 +11,7 @@
 #ifndef ARRAYDB_ARRAY_CELL_SPAN_H_
 #define ARRAYDB_ARRAY_CELL_SPAN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,35 @@ class CellSpanView {
   /// Maps a global cell index (AllCells order, in [0, num_cells())) to its
   /// chunk and local cell index.
   Location Locate(int64_t global_index) const;
+
+  /// Global cell index of the first cell of chunk `chunk_index` (the
+  /// cumulative cell count of everything before it).
+  int64_t ChunkOffset(size_t chunk_index) const {
+    return offsets_[chunk_index];
+  }
+
+  /// Slices the global cell range [begin, end) into maximal per-chunk runs:
+  /// invokes fn(chunk, local_begin, local_end) for each chunk the range
+  /// touches, in global order. This is how morsels over a cell range map
+  /// onto contiguous columnar storage (exec::MorselScheduler).
+  template <typename Fn>
+  void ForEachSlice(int64_t begin, int64_t end, Fn&& fn) const {
+    if (begin >= end) return;
+    const auto it =
+        std::upper_bound(offsets_.begin(), offsets_.end(), begin);
+    size_t chunk_idx = static_cast<size_t>(it - offsets_.begin()) - 1;
+    int64_t cursor = begin;
+    while (cursor < end) {
+      const Chunk* chunk = chunks_[chunk_idx];
+      const int64_t chunk_begin = offsets_[chunk_idx];
+      const int64_t chunk_end = offsets_[chunk_idx + 1];
+      const int64_t slice_end = std::min(end, chunk_end);
+      fn(*chunk, static_cast<size_t>(cursor - chunk_begin),
+         static_cast<size_t>(slice_end - chunk_begin));
+      cursor = slice_end;
+      ++chunk_idx;
+    }
+  }
 
   /// Invokes fn(chunk, cell_index, global_index) for every cell in global
   /// order.

@@ -8,12 +8,34 @@
 
 namespace arraydb::core {
 
+namespace {
+
+// Schema-driven codec construction goes through the checked factory: a
+// projected rank above the 6-dim state tables (or an index budget
+// overflow) fails loudly with the factory's message. This is deliberate
+// policy, not a correctness necessity — the raw constructor's high-dim
+// fallback is reference-exact, just table-free and slower — so hot-path
+// placement refuses the unbounded-cost path until the ROADMAP item
+// extending the state tables lands. Partitioner construction has no
+// status channel, so the InvalidArgument surfaces as a CHECK here.
+hilbert::HilbertCodec MakeCodecChecked(const array::Coordinates& extents) {
+  auto codec = hilbert::HilbertCodec::Create(
+      static_cast<int>(extents.size()), hilbert::BitsForExtents(extents));
+  if (!codec.ok()) {
+    std::fprintf(stderr, "HilbertPartitioner: %s\n",
+                 codec.status().ToString().c_str());
+  }
+  ARRAYDB_CHECK(codec.ok());
+  return std::move(codec).value();
+}
+
+}  // namespace
+
 HilbertPartitioner::HilbertPartitioner(const array::ArraySchema& schema,
                                        int initial_nodes, int growth_dim)
     : projection_(schema, growth_dim),
       extents_(projection_.extents()),
-      codec_(static_cast<int>(projection_.extents().size()),
-             hilbert::BitsForExtents(projection_.extents())) {
+      codec_(MakeCodecChecked(projection_.extents())) {
   ARRAYDB_CHECK_GE(initial_nodes, 1);
   const int bits = codec_.bits();
   const int n = codec_.num_dims();

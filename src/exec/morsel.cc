@@ -1,0 +1,124 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace arraydb::exec {
+
+namespace {
+
+// Configuration-time knob; operators read it per call. Not atomic by
+// design: concurrent configuration while operators run is a caller bug.
+int g_data_plane_threads = 1;
+
+}  // namespace
+
+MorselOptions DataPlaneMorselOptions() {
+  MorselOptions options;
+  options.threads = g_data_plane_threads;
+  return options;
+}
+
+void SetDataPlaneThreads(int threads) { g_data_plane_threads = threads; }
+
+ScopedDataPlaneThreads::ScopedDataPlaneThreads(int threads)
+    : saved_(g_data_plane_threads) {
+  g_data_plane_threads = threads;
+}
+
+ScopedDataPlaneThreads::~ScopedDataPlaneThreads() {
+  g_data_plane_threads = saved_;
+}
+
+MorselScheduler::MorselScheduler(MorselOptions options)
+    : options_(options),
+      threads_(util::ResolveThreadCount(options.threads)) {
+  ARRAYDB_CHECK_GT(options_.grain_cells, 0);
+}
+
+std::vector<MorselRange> MorselScheduler::Carve(int64_t n, int64_t grain) {
+  ARRAYDB_CHECK_GT(grain, 0);
+  std::vector<MorselRange> morsels;
+  if (n <= 0) return morsels;
+  morsels.reserve(static_cast<size_t>((n + grain - 1) / grain));
+  for (int64_t begin = 0; begin < n; begin += grain) {
+    morsels.emplace_back(begin, std::min(begin + grain, n));
+  }
+  return morsels;
+}
+
+std::vector<MorselRange> MorselScheduler::CarveByWeight(
+    const std::vector<int64_t>& weights, int64_t grain) {
+  ARRAYDB_CHECK_GT(grain, 0);
+  std::vector<MorselRange> morsels;
+  const auto n = static_cast<int64_t>(weights.size());
+  int64_t begin = 0;
+  int64_t acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += weights[static_cast<size_t>(i)];
+    if (acc >= grain) {
+      morsels.emplace_back(begin, i + 1);
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  if (begin < n) morsels.emplace_back(begin, n);
+  return morsels;
+}
+
+void MorselScheduler::Run(
+    const std::vector<MorselRange>& morsels,
+    const std::function<void(size_t, int64_t, int64_t)>& fn) const {
+  const size_t count = morsels.size();
+  if (count == 0) return;
+
+  // Shared ascending pickup: whichever worker is free takes the next morsel
+  // index, so pickup order is chunk-major and load balancing is dynamic.
+  std::atomic<size_t> next{0};
+  const auto pump = [&next, &morsels, &fn, count] {
+    for (size_t m = next.fetch_add(1, std::memory_order_relaxed); m < count;
+         m = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(m, morsels[m].first, morsels[m].second);
+    }
+  };
+
+  const int helpers =
+      static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(threads_), count)) -
+      1;
+  if (helpers <= 0) {
+    pump();
+    return;
+  }
+
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable done;
+    int remaining = 0;
+  } completion;
+  completion.remaining = helpers;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(helpers));
+  for (int h = 0; h < helpers; ++h) {
+    tasks.emplace_back([&pump, &completion] {
+      pump();
+      std::lock_guard<std::mutex> lock(completion.mu);
+      if (--completion.remaining == 0) completion.done.notify_one();
+    });
+  }
+  util::ThreadPool::Shared().SubmitBatch(std::move(tasks));
+  // The calling thread is a full worker: with a 1-thread pool (or a busy
+  // pool) it drains every morsel itself, so completion never deadlocks on
+  // pool capacity.
+  pump();
+  std::unique_lock<std::mutex> lock(completion.mu);
+  completion.done.wait(lock,
+                       [&completion] { return completion.remaining == 0; });
+}
+
+}  // namespace arraydb::exec

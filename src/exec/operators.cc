@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 
 #include "array/cell_span.h"
+#include "exec/morsel.h"
 #include "simd/scan_kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -29,22 +31,23 @@ bool CellBox::Intersects(const array::Coordinates& box_lo,
   return true;
 }
 
-FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box) {
-  FilterBoxView view;
+namespace {
+
+// The morsel pre-filter shared by the box operators: sorted non-empty
+// chunks whose maintained bounding boxes (at least as tight as the schema
+// extents) intersect the query box, batch-checked in one SIMD kernel call
+// over a dim-major SoA.
+std::vector<const array::Chunk*> BBoxSurvivors(const array::Array& array,
+                                               const CellBox& box) {
   const size_t ndims = box.lo.size();
   ARRAYDB_CHECK_EQ(box.hi.size(), ndims);
-
   std::vector<const array::Chunk*> chunks;
   for (const array::Chunk* chunk : array.SortedChunks()) {
     if (chunk->num_cells() == 0) continue;
     ARRAYDB_CHECK_EQ(chunk->bbox_lo().size(), ndims);
     chunks.push_back(chunk);
   }
-  if (chunks.empty()) return view;
-
-  // Chunk pruning, batched: the maintained bounding boxes over stored cells
-  // (at least as tight as the schema extents) are packed into a dim-major
-  // SoA and intersected against the query box in one kernel call.
+  if (chunks.empty()) return chunks;
   simd::BBoxSoA boxes;
   boxes.Resize(chunks.size(), ndims);
   for (size_t c = 0; c < chunks.size(); ++c) {
@@ -56,46 +59,98 @@ FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box) {
   std::vector<uint8_t> survived(chunks.size());
   simd::BBoxIntersectMask(boxes, box.lo.data(), box.hi.data(),
                           survived.data());
-
-  std::vector<uint8_t> mask;
+  std::vector<const array::Chunk*> out;
+  out.reserve(chunks.size());
   for (size_t c = 0; c < chunks.size(); ++c) {
-    if (survived[c] == 0) continue;
-    const array::Chunk& chunk = *chunks[c];
-    const size_t count = chunk.num_cells();
-    mask.resize(count);
-    simd::RangeMask(chunk.packed_coords().data(), count, ndims,
-                    box.lo.data(), box.hi.data(), mask.data());
-    FilterBoxView::ChunkSpans cs;
-    cs.chunk = &chunk;
-    simd::MaskToSpans(mask.data(), count, &cs.spans);
-    if (cs.spans.empty()) continue;
-    for (const auto& [begin, end] : cs.spans) {
-      view.num_cells_ += end - begin;
-    }
-    view.chunks_.push_back(std::move(cs));
+    if (survived[c] != 0) out.push_back(chunks[c]);
   }
+  return out;
+}
+
+// Cache-sized runs of whole chunks: the per-chunk cell counts weight the
+// carve so every morsel scans ~grain cells of contiguous columnar storage.
+std::vector<MorselRange> CarveChunks(
+    const std::vector<const array::Chunk*>& chunks, int64_t grain) {
+  std::vector<int64_t> weights;
+  weights.reserve(chunks.size());
+  for (const array::Chunk* chunk : chunks) {
+    weights.push_back(static_cast<int64_t>(chunk->num_cells()));
+  }
+  return MorselScheduler::CarveByWeight(weights, grain);
+}
+
+}  // namespace
+
+FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box,
+                             const MorselOptions& morsel) {
+  FilterBoxView view;
+  const size_t ndims = box.lo.size();
+  const std::vector<const array::Chunk*> chunks = BBoxSurvivors(array, box);
+  if (chunks.empty()) return view;
+
+  // One morsel is a run of surviving chunks; its partial is the span list
+  // of those chunks, concatenated back in morsel order — the same spans,
+  // in the same order, as the sequential chunk loop.
+  struct Partial {
+    std::vector<FilterBoxView::ChunkSpans> chunks;
+    int64_t cells = 0;
+  };
+  const MorselScheduler scheduler(morsel);
+  Partial merged = scheduler.Reduce(
+      CarveChunks(chunks, morsel.grain_cells), Partial{},
+      [&](size_t, int64_t begin, int64_t end) {
+        Partial partial;
+        std::vector<uint8_t> mask;
+        for (int64_t c = begin; c < end; ++c) {
+          const array::Chunk& chunk = *chunks[static_cast<size_t>(c)];
+          const size_t count = chunk.num_cells();
+          mask.resize(count);
+          simd::RangeMask(chunk.packed_coords().data(), count, ndims,
+                          box.lo.data(), box.hi.data(), mask.data());
+          FilterBoxView::ChunkSpans cs;
+          cs.chunk = &chunk;
+          simd::MaskToSpans(mask.data(), count, &cs.spans);
+          if (cs.spans.empty()) continue;
+          for (const auto& [sb, se] : cs.spans) partial.cells += se - sb;
+          partial.chunks.push_back(std::move(cs));
+        }
+        return partial;
+      },
+      [](Partial& acc, Partial&& partial) {
+        acc.cells += partial.cells;
+        std::move(partial.chunks.begin(), partial.chunks.end(),
+                  std::back_inserter(acc.chunks));
+      });
+  view.chunks_ = std::move(merged.chunks);
+  view.num_cells_ = merged.cells;
   return view;
 }
 
-int64_t FilterBoxCount(const array::Array& array, const CellBox& box) {
+int64_t FilterBoxCount(const array::Array& array, const CellBox& box,
+                       const MorselOptions& morsel) {
   // Cardinality-only selection: same pruning and predicate kernel as
-  // FilterBoxSpans, but the mask reduces straight to a count — no span
-  // construction.
+  // FilterBoxSpans, but each morsel reduces its mask straight to a count —
+  // no span construction — and counts sum exactly in any order.
   const size_t ndims = box.lo.size();
-  ARRAYDB_CHECK_EQ(box.hi.size(), ndims);
-  int64_t count = 0;
-  std::vector<uint8_t> mask;
-  for (const auto& [coords, chunk] : array.chunks()) {
-    const size_t cells = chunk.num_cells();
-    if (cells == 0) continue;
-    ARRAYDB_CHECK_EQ(chunk.bbox_lo().size(), ndims);
-    if (!box.Intersects(chunk.bbox_lo(), chunk.bbox_hi())) continue;
-    mask.resize(cells);
-    simd::RangeMask(chunk.packed_coords().data(), cells, ndims,
-                    box.lo.data(), box.hi.data(), mask.data());
-    count += simd::MaskCount(mask.data(), cells);
-  }
-  return count;
+  const std::vector<const array::Chunk*> chunks = BBoxSurvivors(array, box);
+  if (chunks.empty()) return 0;
+  const MorselScheduler scheduler(morsel);
+  return scheduler.Reduce(
+      CarveChunks(chunks, morsel.grain_cells), int64_t{0},
+      [&](size_t, int64_t begin, int64_t end) {
+        int64_t count = 0;
+        std::vector<uint8_t> mask;
+        for (int64_t c = begin; c < end; ++c) {
+          const array::Chunk& chunk = *chunks[static_cast<size_t>(c)];
+          const size_t cells = chunk.num_cells();
+          mask.resize(cells);
+          simd::RangeMask(chunk.packed_coords().data(), cells, ndims,
+                          box.lo.data(), box.hi.data(), mask.data());
+          count += simd::MaskCount(mask.data(), cells);
+        }
+        return count;
+      },
+      [](int64_t& acc, int64_t partial) { acc += partial; });
 }
 
 std::vector<array::Cell> FilterBoxView::Materialize() const {
@@ -119,7 +174,7 @@ std::vector<array::Cell> FilterBox(const array::Array& array,
 }
 
 util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,
-                                    double q) {
+                                    double q, const MorselOptions& morsel) {
   if (attr < 0 || attr >= array.schema().num_attrs()) {
     return util::InvalidArgument("attribute index out of range");
   }
@@ -128,29 +183,81 @@ util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,
   }
   const array::CellSpanView view(array);
   if (view.empty()) return util::FailedPrecondition("array is empty");
+  const MorselScheduler scheduler(morsel);
   // The extreme quantiles are plain min/max reductions: one kernel pass per
-  // chunk column, no gather, no sort.
+  // chunk column, no gather, no selection. Morsel partials combine in fixed
+  // order (min/max is value-exact for finite inputs; the fixed order pins
+  // the one ±0.0 tie caveat the kernels document).
   if (q == 0.0 || q == 1.0) {
-    double result = 0.0;
-    bool first = true;
-    for (const array::Chunk* chunk : view.chunks()) {
-      const auto& column = chunk->attr_column(static_cast<size_t>(attr));
-      const double extreme = q == 0.0 ? simd::Min(column.data(), column.size())
-                                      : simd::Max(column.data(), column.size());
-      result = first ? extreme
-                     : (q == 0.0 ? std::min(result, extreme)
-                                 : std::max(result, extreme));
-      first = false;
-    }
-    return result;
+    struct Extreme {
+      double value = 0.0;
+      bool any = false;
+    };
+    const Extreme merged = scheduler.Reduce(
+        CarveChunks(view.chunks(), morsel.grain_cells), Extreme{},
+        [&](size_t, int64_t begin, int64_t end) {
+          Extreme partial;
+          for (int64_t c = begin; c < end; ++c) {
+            const auto& column =
+                view.chunks()[static_cast<size_t>(c)]->attr_column(
+                    static_cast<size_t>(attr));
+            const double extreme =
+                q == 0.0 ? simd::Min(column.data(), column.size())
+                         : simd::Max(column.data(), column.size());
+            partial.value = partial.any
+                                ? (q == 0.0 ? std::min(partial.value, extreme)
+                                            : std::max(partial.value, extreme))
+                                : extreme;
+            partial.any = true;
+          }
+          return partial;
+        },
+        [&](Extreme& acc, Extreme&& partial) {
+          if (!partial.any) return;
+          acc.value = acc.any ? (q == 0.0 ? std::min(acc.value, partial.value)
+                                          : std::max(acc.value, partial.value))
+                              : partial.value;
+          acc.any = true;
+        });
+    return merged.value;
   }
-  std::vector<double> values = view.GatherAttr(static_cast<size_t>(attr));
-  std::sort(values.begin(), values.end());
-  const double pos = q * static_cast<double>(values.size() - 1);
+  // Interior quantiles: gather the attribute column morsel-parallel (each
+  // morsel copies its own slice of the global cell order, so the gathered
+  // buffer is identical to the sequential GatherAttr), then select the two
+  // bracketing order statistics with nth_element instead of a full sort.
+  // An order statistic is a value property of the multiset, so the result
+  // is bit-identical to the retired sort path. Uninitialized storage: every
+  // slot is written exactly once by its morsel, so the old reserve+insert
+  // path's single pass over the data is preserved.
+  const size_t n = static_cast<size_t>(view.num_cells());
+  const auto values = std::make_unique_for_overwrite<double[]>(n);
+  scheduler.Run(
+      MorselScheduler::Carve(view.num_cells(), morsel.grain_cells),
+      [&](size_t, int64_t begin, int64_t end) {
+        view.ForEachSlice(
+            begin, end,
+            [&values, &begin, attr](const array::Chunk& chunk,
+                                    size_t local_begin, size_t local_end) {
+              const auto& column =
+                  chunk.attr_column(static_cast<size_t>(attr));
+              std::copy(column.begin() + static_cast<int64_t>(local_begin),
+                        column.begin() + static_cast<int64_t>(local_end),
+                        values.get() + begin);
+              begin += static_cast<int64_t>(local_end - local_begin);
+            });
+      });
+  const double pos = q * static_cast<double>(n - 1);
   const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const size_t hi = std::min(lo + 1, n - 1);
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  double* const lo_ptr = values.get() + lo;
+  std::nth_element(values.get(), lo_ptr, values.get() + n);
+  const double lo_value = *lo_ptr;
+  // After partitioning at lo, the suffix holds exactly the elements that
+  // would sort above position lo, so the next order statistic is its min.
+  const double hi_value =
+      hi > lo ? *std::min_element(lo_ptr + 1, values.get() + n) : lo_value;
+  return lo_value * (1.0 - frac) + hi_value * frac;
 }
 
 namespace {
@@ -213,42 +320,60 @@ inline int64_t BinOrigin(int64_t v, int64_t bin) {
 }  // namespace
 
 std::map<array::Coordinates, double> GroupBySum(
-    const array::Array& array, const std::vector<int64_t>& bin, int attr) {
+    const array::Array& array, const std::vector<int64_t>& bin, int attr,
+    const MorselOptions& morsel) {
   ARRAYDB_CHECK_EQ(bin.size(),
                    static_cast<size_t>(array.schema().num_dims()));
   ARRAYDB_CHECK_GE(attr, 0);
   ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
   for (const int64_t b : bin) ARRAYDB_CHECK_GT(b, 0);
   const size_t ndims = bin.size();
-  std::unordered_map<array::Coordinates, double, array::CoordinatesHash> acc;
-  array::Coordinates key(ndims);
-  // Sorted chunk order keeps floating-point accumulation deterministic
-  // (and, with the kernels dispatch-stable, identical across scalar and
-  // AVX2 dispatch).
-  for (const array::Chunk* chunk_ptr : array.SortedChunks()) {
-    const array::Chunk& chunk = *chunk_ptr;
-    if (chunk.num_cells() == 0) continue;
-    const auto& column = chunk.attr_column(static_cast<size_t>(attr));
-    // Chunk-per-bin fast path: when the chunk's bounding box maps into a
-    // single bin (the common case for bins at least as coarse as chunks),
-    // the whole column collapses to one Sum-kernel reduction.
-    bool single_bin = true;
-    for (size_t d = 0; d < ndims; ++d) {
-      key[d] = BinOrigin(chunk.bbox_lo()[d], bin[d]);
-      single_bin &= key[d] == BinOrigin(chunk.bbox_hi()[d], bin[d]);
-    }
-    if (single_bin) {
-      acc[key] += simd::Sum(column.data(), column.size());
-      continue;
-    }
-    const int64_t* pos = chunk.packed_coords().data();
-    for (size_t i = 0; i < chunk.num_cells(); ++i, pos += ndims) {
-      for (size_t d = 0; d < ndims; ++d) {
-        key[d] = BinOrigin(pos[d], bin[d]);
-      }
-      acc[key] += column[i];
-    }
+  std::vector<const array::Chunk*> chunks;
+  for (const array::Chunk* chunk : array.SortedChunks()) {
+    if (chunk->num_cells() != 0) chunks.push_back(chunk);
   }
+  using BinMap =
+      std::unordered_map<array::Coordinates, double, array::CoordinatesHash>;
+  // Each morsel accumulates a private bin map over its run of sorted
+  // chunks; partials merge per key in morsel order, so every bin's
+  // floating-point accumulation order is a pure function of the chunk list
+  // and the grain — deterministic, thread-count invariant, and (with the
+  // kernels dispatch-stable) identical across scalar and AVX2 dispatch.
+  const MorselScheduler scheduler(morsel);
+  BinMap acc = scheduler.Reduce(
+      CarveChunks(chunks, morsel.grain_cells), BinMap{},
+      [&](size_t, int64_t begin, int64_t end) {
+        BinMap partial;
+        array::Coordinates key(ndims);
+        for (int64_t c = begin; c < end; ++c) {
+          const array::Chunk& chunk = *chunks[static_cast<size_t>(c)];
+          const auto& column = chunk.attr_column(static_cast<size_t>(attr));
+          // Chunk-per-bin fast path: when the chunk's bounding box maps
+          // into a single bin (the common case for bins at least as coarse
+          // as chunks), the whole column collapses to one Sum-kernel
+          // reduction.
+          bool single_bin = true;
+          for (size_t d = 0; d < ndims; ++d) {
+            key[d] = BinOrigin(chunk.bbox_lo()[d], bin[d]);
+            single_bin &= key[d] == BinOrigin(chunk.bbox_hi()[d], bin[d]);
+          }
+          if (single_bin) {
+            partial[key] += simd::Sum(column.data(), column.size());
+            continue;
+          }
+          const int64_t* pos = chunk.packed_coords().data();
+          for (size_t i = 0; i < chunk.num_cells(); ++i, pos += ndims) {
+            for (size_t d = 0; d < ndims; ++d) {
+              key[d] = BinOrigin(pos[d], bin[d]);
+            }
+            partial[key] += column[i];
+          }
+        }
+        return partial;
+      },
+      [](BinMap& acc_map, BinMap&& partial) {
+        for (auto& [key, sum] : partial) acc_map[key] += sum;
+      });
   return std::map<array::Coordinates, double>(acc.begin(), acc.end());
 }
 
@@ -313,20 +438,40 @@ util::StatusOr<double> WindowAverageAt(const array::Array& array, int attr,
 }
 
 std::vector<std::pair<array::Coordinates, double>> WindowAverageAll(
-    const array::Array& array, int attr, int64_t radius) {
+    const array::Array& array, int attr, int64_t radius,
+    const MorselOptions& morsel) {
   ARRAYDB_CHECK_GE(attr, 0);
   ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
   ARRAYDB_CHECK_GE(radius, 0);
   const auto index = BuildValueIndex(array, attr);
-  std::vector<std::pair<array::Coordinates, double>> out;
-  out.reserve(index.size());
-  for (const auto& [pos, value] : index) {
-    out.emplace_back(pos, WindowAverageFromIndex(index, pos, radius));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) {
-              return array::CoordinatesLess(a.first, b.first);
-            });
+  // Deterministic work list: the occupied positions, sorted. Each position
+  // probes the shared read-only index and writes exactly its own output
+  // slot, so the field needs no combine step and the output is already in
+  // its final order.
+  std::vector<array::Coordinates> positions;
+  positions.reserve(index.size());
+  for (const auto& [pos, value] : index) positions.push_back(pos);
+  std::sort(positions.begin(), positions.end(), array::CoordinatesLess);
+  std::vector<std::pair<array::Coordinates, double>> out(positions.size());
+  // A window probe costs (2r+1)^ndims index lookups per position, so the
+  // per-morsel position grain shrinks by the window volume (floored so tiny
+  // fields still form one morsel). Pure in (data, options): the carve — and
+  // with it the schedule-independent output — never depends on threads.
+  int64_t window = 1;
+  const int64_t span = 2 * radius + 1;
+  for (int d = 0; d < array.schema().num_dims(); ++d) window *= span;
+  const int64_t grain =
+      std::max<int64_t>(64, morsel.grain_cells / std::max<int64_t>(1, window));
+  const MorselScheduler scheduler(morsel);
+  scheduler.Run(
+      MorselScheduler::Carve(static_cast<int64_t>(positions.size()), grain),
+      [&](size_t, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const auto& pos = positions[static_cast<size_t>(i)];
+          out[static_cast<size_t>(i)] = {
+              pos, WindowAverageFromIndex(index, pos, radius)};
+        }
+      });
   return out;
 }
 
@@ -406,7 +551,8 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
 }
 
 util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
-                                          int samples, uint64_t seed) {
+                                          int samples, uint64_t seed,
+                                          const MorselOptions& morsel) {
   if (k < 1) return util::InvalidArgument("k must be positive");
   if (samples < 1) return util::InvalidArgument("samples must be positive");
   // Sample and scan through the span view: positions are read straight from
@@ -420,27 +566,39 @@ util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
   util::Rng rng(seed);
   double total = 0.0;
   array::Coordinates origin(ndims);
-  std::vector<double> dists;
-  dists.reserve(static_cast<size_t>(num_cells) - 1);
+  // The sample draw stays a single RNG stream; each sample's brute-force
+  // distance scan runs morsel-parallel, every cell writing its fixed slot
+  // (cells after the probe shift down one), so the selection input is the
+  // same vector, in the same order, as the sequential scan produced.
+  std::vector<double> dists(static_cast<size_t>(num_cells) - 1);
+  const MorselScheduler scheduler(morsel);
+  const auto morsels =
+      MorselScheduler::Carve(num_cells, morsel.grain_cells);
   for (int s = 0; s < samples; ++s) {
     const auto idx = static_cast<int64_t>(
         rng.NextBounded(static_cast<uint64_t>(num_cells)));
     const auto loc = view.Locate(idx);
     const int64_t* origin_pos = loc.chunk->cell_pos(loc.index);
     origin.assign(origin_pos, origin_pos + ndims);
-    // Brute-force distances to all other cells; keep the k smallest.
-    dists.clear();
-    view.ForEachCell(
-        [&](const array::Chunk& chunk, size_t i, int64_t global) {
-          if (global == idx) return;
-          const int64_t* pos = chunk.cell_pos(i);
-          double dist = 0.0;
-          for (size_t d = 0; d < ndims; ++d) {
-            const double diff = static_cast<double>(pos[d] - origin[d]);
-            dist += diff * diff;
-          }
-          dists.push_back(std::sqrt(dist));
-        });
+    scheduler.Run(morsels, [&](size_t, int64_t begin, int64_t end) {
+      int64_t global = begin;
+      view.ForEachSlice(
+          begin, end,
+          [&](const array::Chunk& chunk, size_t local_begin,
+              size_t local_end) {
+            for (size_t i = local_begin; i < local_end; ++i, ++global) {
+              if (global == idx) continue;
+              const int64_t* pos = chunk.cell_pos(i);
+              double dist = 0.0;
+              for (size_t d = 0; d < ndims; ++d) {
+                const double diff = static_cast<double>(pos[d] - origin[d]);
+                dist += diff * diff;
+              }
+              dists[static_cast<size_t>(global < idx ? global : global - 1)] =
+                  std::sqrt(dist);
+            }
+          });
+    });
     std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
     double sum = 0.0;
     for (int i = 0; i < k; ++i) sum += dists[static_cast<size_t>(i)];

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "array/array.h"
+#include "exec/morsel.h"
 #include "util/status.h"
 
 namespace arraydb::exec {
@@ -68,15 +69,26 @@ class FilterBoxView {
 
  private:
   friend FilterBoxView FilterBoxSpans(const array::Array& array,
-                                      const CellBox& box);
+                                      const CellBox& box,
+                                      const MorselOptions& morsel);
   std::vector<ChunkSpans> chunks_;
   int64_t num_cells_ = 0;
 };
 
+// The scan/aggregate operators below execute morsel-parallel on
+// exec::MorselScheduler (threads from `morsel`; the default reads the
+// process data-plane knob, which starts at 1 = sequential). Results are
+// bit-identical at every thread count: morsel boundaries depend only on
+// the data and the grain, and partial states combine in fixed morsel
+// order (see src/exec/README.md).
+
 /// Selection without materialization: spans of matching cells per chunk.
-/// Whole chunks are pruned via their bounding boxes; surviving chunks are
-/// scanned linearly in columnar order.
-FilterBoxView FilterBoxSpans(const array::Array& array, const CellBox& box);
+/// Whole chunks are batch-pruned via their bounding boxes (the morsel
+/// pre-filter); surviving chunks are carved into cache-sized morsels and
+/// scanned linearly in columnar order with the SIMD predicate kernel.
+FilterBoxView FilterBoxSpans(
+    const array::Array& array, const CellBox& box,
+    const MorselOptions& morsel = DataPlaneMorselOptions());
 
 /// Selection: all cells inside `box`, sorted by position. Thin adapter over
 /// FilterBoxSpans for callers that want value results.
@@ -84,15 +96,18 @@ std::vector<array::Cell> FilterBox(const array::Array& array,
                                    const CellBox& box);
 
 /// Selection cardinality (COUNT(*) over the box): same pruning and
-/// predicate kernel as FilterBoxSpans, without building spans. Chunk
-/// iteration order is irrelevant to a count, so this walks the chunk map
-/// directly.
-int64_t FilterBoxCount(const array::Array& array, const CellBox& box);
+/// predicate kernel as FilterBoxSpans, with the mask reduced straight to a
+/// per-morsel count (no span construction).
+int64_t FilterBoxCount(const array::Array& array, const CellBox& box,
+                       const MorselOptions& morsel = DataPlaneMorselOptions());
 
 /// Sort benchmark: the q-quantile (0 <= q <= 1) of attribute `attr` over
-/// all non-empty cells.
-util::StatusOr<double> AttrQuantile(const array::Array& array, int attr,
-                                    double q);
+/// all non-empty cells. Extreme quantiles are min/max kernel reductions;
+/// interior quantiles gather morsel-parallel and select the two order
+/// statistics with nth_element instead of a full sort.
+util::StatusOr<double> AttrQuantile(
+    const array::Array& array, int attr, double q,
+    const MorselOptions& morsel = DataPlaneMorselOptions());
 
 /// Join benchmark (MODIS): number of positions occupied in both arrays —
 /// the size of the position join used for the vegetation index.
@@ -106,8 +121,12 @@ int64_t AttrJoinCount(const array::Array& array, int attr,
 
 /// Statistics benchmark: sums attribute `attr` grouped by coarse bins of
 /// size `bin[d]` cells along each dimension. Returns bin-origin -> sum.
+/// Per-bin accumulation order is fixed by the morsel decomposition (chunks
+/// in lexicographic order, morsel partials combined in order), so sums are
+/// deterministic and thread-count invariant.
 std::map<array::Coordinates, double> GroupBySum(
-    const array::Array& array, const std::vector<int64_t>& bin, int attr);
+    const array::Array& array, const std::vector<int64_t>& bin, int attr,
+    const MorselOptions& morsel = DataPlaneMorselOptions());
 
 /// Complex projection benchmark: windowed average of `attr` in a Chebyshev
 /// radius around `pos` (partially overlapping windows yield smooth images).
@@ -115,9 +134,12 @@ util::StatusOr<double> WindowAverageAt(const array::Array& array, int attr,
                                        const array::Coordinates& pos,
                                        int64_t radius);
 
-/// Windowed average at every occupied cell; sorted by position.
+/// Windowed average at every occupied cell; sorted by position. Positions
+/// are enumerated deterministically and each output slot is computed by
+/// exactly one morsel, so the field is thread-count invariant.
 std::vector<std::pair<array::Coordinates, double>> WindowAverageAll(
-    const array::Array& array, int attr, int64_t radius);
+    const array::Array& array, int attr, int64_t radius,
+    const MorselOptions& morsel = DataPlaneMorselOptions());
 
 /// Modeling benchmark (MODIS): Lloyd's k-means over arbitrary points.
 struct KMeansResult {
@@ -130,9 +152,13 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
                     int max_iterations, uint64_t seed);
 
 /// Modeling benchmark (AIS): average Euclidean distance (in cell space) to
-/// the k nearest other cells, over `samples` cells drawn uniformly.
-util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
-                                          int samples, uint64_t seed);
+/// the k nearest other cells, over `samples` cells drawn uniformly. The
+/// sample draw stays sequential (one RNG stream); each sample's distance
+/// scan fills a preallocated slot per cell morsel-parallel, so the
+/// selection input — and the result — is identical at every thread count.
+util::StatusOr<double> KnnAverageDistance(
+    const array::Array& array, int k, int samples, uint64_t seed,
+    const MorselOptions& morsel = DataPlaneMorselOptions());
 
 /// Regridding: coarsens the array by integer `factors` per dimension,
 /// producing an array with attributes (sum of `attr`, cell count).

@@ -5,6 +5,7 @@
 #include <bit>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "util/logging.h"
 
@@ -125,6 +126,27 @@ const CurveTables* GetCurveTables(int num_dims) {
 }
 
 }  // namespace internal
+
+util::StatusOr<HilbertCodec> HilbertCodec::Create(int num_dims, int bits) {
+  if (num_dims < 1) {
+    return util::InvalidArgument("num_dims must be >= 1");
+  }
+  if (bits < 1) {
+    return util::InvalidArgument("bits must be >= 1");
+  }
+  if (static_cast<int64_t>(num_dims) * static_cast<int64_t>(bits) > 64) {
+    return util::InvalidArgument(
+        "num_dims * bits exceeds the 64-bit index budget");
+  }
+  if (num_dims > internal::CurveTables::kMaxStateDims) {
+    return util::InvalidArgument(
+        "schema rank exceeds the Hilbert state tables (" +
+        std::to_string(num_dims) + " dims > " +
+        std::to_string(internal::CurveTables::kMaxStateDims) +
+        "-dim limit); extend CurveTables before ranking this schema");
+  }
+  return HilbertCodec(num_dims, bits);
+}
 
 HilbertCodec::HilbertCodec(int num_dims, int bits)
     : n_(num_dims), bits_(bits) {

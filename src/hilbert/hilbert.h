@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "array/coordinates.h"
+#include "util/status.h"
 
 namespace arraydb::hilbert {
 
@@ -63,6 +64,19 @@ const CurveTables* GetCurveTables(int num_dims);
 /// Requires num_dims >= 1, bits >= 1, num_dims * bits <= 64.
 class HilbertCodec {
  public:
+  /// Checked factory for schema-facing callers. Returns InvalidArgument —
+  /// instead of a CHECK-abort or a silent fall-through to the slower
+  /// non-table path — when the geometry is invalid (num_dims < 1, bits < 1,
+  /// num_dims * bits > 64) or the schema rank exceeds the precomputed
+  /// state tables (num_dims > internal::CurveTables::kMaxStateDims = 6,
+  /// the current fast-path limit; ROADMAP tracks extending the tables with
+  /// a compressed two-level scheme if higher-rank schemas appear).
+  static util::StatusOr<HilbertCodec> Create(int num_dims, int bits);
+
+  /// Unchecked constructor: aborts on invalid geometry and accepts any
+  /// rank <= 64, transparently using branchless per-level arithmetic above
+  /// the state-table limit (reference-exact, just slower). Schema-driven
+  /// callers should prefer Create.
   HilbertCodec(int num_dims, int bits);
 
   int num_dims() const { return n_; }

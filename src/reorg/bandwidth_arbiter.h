@@ -42,6 +42,35 @@ struct ArbiterOptions {
   std::optional<double> fixed_gb;
 };
 
+/// EWMA estimate of the per-cycle query-overlap window fed to
+/// BandwidthArbiter (ROADMAP follow-on: the raw previous-cycle benchmark
+/// minutes are a noisy one-sample estimator; smoothing reacts to a
+/// sustained query-load swing within a couple of cycles without chasing
+/// every spike — and unlike a cumulative mean it never goes stale).
+/// alpha = 1 reproduces the legacy previous-cycle estimator exactly.
+class OverlapWindowEstimator {
+ public:
+  static constexpr double kDefaultAlpha = 0.5;
+
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit OverlapWindowEstimator(double alpha = kDefaultAlpha);
+
+  /// Folds one cycle's observed benchmark minutes into the estimate. The
+  /// first observation seeds the estimate directly (no zero-bias).
+  void Observe(double minutes);
+
+  /// Current window estimate in minutes; 0 until the first observation
+  /// (matching the legacy estimator's cold start).
+  double estimate() const { return seeded_ ? estimate_ : 0.0; }
+  bool has_estimate() const { return seeded_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double estimate_ = 0.0;
+  bool seeded_ = false;
+};
+
 class BandwidthArbiter {
  public:
   /// `cost_model` must outlive the arbiter.

@@ -33,6 +33,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ARRAYDB_CHECK(!stopping_);
+    for (auto& task : tasks) {
+      ARRAYDB_CHECK(task != nullptr);
+      queue_.push_back(std::move(task));
+    }
+  }
+  if (tasks.size() == 1) {
+    work_available_.notify_one();
+  } else {
+    work_available_.notify_all();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

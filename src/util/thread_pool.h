@@ -34,6 +34,12 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Enqueues all of `tasks` under one lock acquisition and wakes enough
+  /// workers for them (batched submission for fan-outs like the morsel
+  /// scheduler, which would otherwise pay a lock/notify round-trip per
+  /// worker). Queue order is the vector order.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
   /// Process-wide pool sized to the hardware concurrency, started lazily.
   static ThreadPool& Shared();
 

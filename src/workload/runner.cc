@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/elastic_engine.h"
+#include "exec/morsel.h"
 #include "reorg/bandwidth_arbiter.h"
 #include "reorg/reorg_engine.h"
 #include "util/logging.h"
@@ -43,6 +44,10 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       config_.initial_nodes, capacity, config_.cost_params);
   const int ingest_threads = util::ResolveThreadCount(config_.ingest_threads);
   engine.set_ingest_threads(ingest_threads);
+  // Data-plane knob: any real operator execution embedded in this run (the
+  // examples and benches that query the arrays they feed the runner) picks
+  // up the configured morsel parallelism; restored on return.
+  const exec::ScopedDataPlaneThreads data_plane(config_.data_plane_threads);
   exec::QueryEngine query_engine(config_.engine_params);
 
   core::StaircaseConfig stair_cfg;
@@ -62,13 +67,14 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
   // epoch stays pinned until the plan drains), the arbiter owning the
   // just-in-time deadline countdown, the current cycle's grant (read by the
   // engine's budget callback), the schedule-invariant work minutes already
-  // charged (pro-rated by bytes per cycle), and the previous cycle's
-  // benchmark minutes (the arbiter's overlap-window estimate).
+  // charged (pro-rated by bytes per cycle), and the EWMA of observed
+  // benchmark minutes (the arbiter's overlap-window estimate; survives
+  // across plans so a new plan starts with a warm window).
   std::optional<reorg::IncrementalReorgEngine> background;
   std::optional<reorg::BandwidthArbiter> arbiter;
   double cycle_budget_gb = 0.0;
   double plan_minutes_charged = 0.0;
-  double prev_benchmark_minutes = 0.0;
+  reorg::OverlapWindowEstimator overlap_window(config_.overlap_window_alpha);
   // Summary totals already attributed to a cycle (charge_migration's
   // snapshot; reset when a plan begins).
   struct {
@@ -231,7 +237,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       cluster::BandwidthDemand demand;
       demand.remaining_migration_gb = s.moved_gb - s.committed_gb;
       demand.projected_ingest_gb = batch_gb;
-      demand.overlap_window_minutes = prev_benchmark_minutes;
+      demand.overlap_window_minutes = overlap_window.estimate();
       demand.num_nodes = engine.cluster().num_nodes();
       if (cycle + 1 >= workload.num_cycles()) arbiter->ForceDeadline();
       const bool deadline = arbiter->cycles_left() <= 1;
@@ -312,7 +318,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     m.ingest_stall_minutes = m.reorg_minutes - m.overlap_saved_minutes;
     m.elapsed_minutes = m.insert_minutes + m.reorg_minutes +
                         benchmark_minutes - m.overlap_saved_minutes;
-    prev_benchmark_minutes = benchmark_minutes;
+    overlap_window.Observe(benchmark_minutes);
 
     // Eq. 1: N_i * elapsed_i, accumulated in node hours (elapsed equals
     // I_i + r_i + w_i outside kOverlapped).

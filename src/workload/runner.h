@@ -32,6 +32,7 @@
 #include "core/partitioner_factory.h"
 #include "core/provisioner.h"
 #include "exec/engine.h"
+#include "reorg/bandwidth_arbiter.h"
 #include "reorg/reorg_engine.h"
 #include "workload/workload.h"
 
@@ -96,6 +97,17 @@ struct RunnerConfig {
   /// convention is interpreted in exactly one place,
   /// util::ResolveThreadCount, which every consumer calls.
   int ingest_threads = 1;
+  /// Worker threads for the real data-plane operators (the morsel-parallel
+  /// exec:: scan/aggregate operators; see src/exec/README.md). Applied
+  /// process-wide for the duration of Run() so operator work embedded in a
+  /// workload run — examples, benches — inherits it. Same 0-means-auto
+  /// convention as ingest_threads; operator results are bit-identical at
+  /// every setting (morsel determinism contract).
+  int data_plane_threads = 1;
+  /// EWMA smoothing factor for the arbiter's query-overlap window estimate
+  /// (reorg::OverlapWindowEstimator). 1.0 reproduces the legacy
+  /// previous-cycle estimator bit for bit.
+  double overlap_window_alpha = reorg::OverlapWindowEstimator::kDefaultAlpha;
   /// Reorganization execution mode; metrics and query results are
   /// deterministic for every mode, thread count, and increment size.
   ReorgMode reorg_mode = ReorgMode::kBlocking;

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -226,6 +227,71 @@ TEST(ArbitratedReorgTest, MidReorgPacedQueriesMatchQuiescedCluster) {
   ASSERT_TRUE(engine.Finish().ok());
   // Released: the migrated chunks now read from the new node.
   EXPECT_EQ(view.OwnerOf({4}), first_new);
+}
+
+// -- Overlap window estimation (EWMA) --------------------------------------
+
+TEST(OverlapWindowEstimatorTest, SeedsOnFirstObservationAndAlphaOneIsLegacy) {
+  OverlapWindowEstimator ewma(0.5);
+  EXPECT_FALSE(ewma.has_estimate());
+  EXPECT_DOUBLE_EQ(ewma.estimate(), 0.0);  // Legacy cold start.
+  ewma.Observe(40.0);
+  EXPECT_TRUE(ewma.has_estimate());
+  EXPECT_DOUBLE_EQ(ewma.estimate(), 40.0);  // First observation seeds.
+
+  // alpha = 1 reproduces the previous-cycle estimator bit for bit.
+  OverlapWindowEstimator legacy(1.0);
+  for (const double minutes : {10.0, 35.5, 0.0, 17.25}) {
+    legacy.Observe(minutes);
+    EXPECT_DOUBLE_EQ(legacy.estimate(), minutes);
+  }
+}
+
+TEST(OverlapWindowEstimatorTest, ReactsToAQueryLoadSwingFasterThanAMean) {
+  // A sustained query-load swing: three light cycles (10 min of
+  // benchmarks), then the workload jumps to 50 min. The EWMA crosses the
+  // midpoint within two post-swing cycles; a cumulative running mean — the
+  // natural "stable" alternative smoother — is still far below it. (The
+  // raw previous-cycle estimator reacts instantly but chases every spike;
+  // see the smoothing test below.)
+  OverlapWindowEstimator ewma(0.5);
+  double mean = 0.0;
+  int n = 0;
+  const auto observe = [&](double minutes) {
+    ewma.Observe(minutes);
+    mean = (mean * n + minutes) / (n + 1);
+    ++n;
+  };
+  for (int i = 0; i < 3; ++i) observe(10.0);
+  EXPECT_DOUBLE_EQ(ewma.estimate(), 10.0);
+  observe(50.0);
+  observe(50.0);
+  EXPECT_GE(ewma.estimate(), 40.0);  // 10 -> 30 -> 40 after two cycles.
+  EXPECT_LT(mean, 30.0);             // The mean has barely moved.
+  EXPECT_GT(ewma.estimate(), mean);
+  // And it converges: five more cycles land within 2% of the new level.
+  for (int i = 0; i < 5; ++i) observe(50.0);
+  EXPECT_NEAR(ewma.estimate(), 50.0, 1.0);
+}
+
+TEST(OverlapWindowEstimatorTest, SmoothsSpikesBetterThanPreviousCycle) {
+  // Alternating light/heavy cycles around a 20-minute mean: the EWMA's
+  // prediction error for the next cycle is strictly below the legacy
+  // previous-cycle estimator's (which always predicts the opposite phase).
+  OverlapWindowEstimator ewma(0.5);
+  OverlapWindowEstimator legacy(1.0);
+  double ewma_err = 0.0, legacy_err = 0.0;
+  double minutes = 0.0;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    minutes = cycle % 2 == 0 ? 0.0 : 40.0;
+    if (cycle > 0) {
+      ewma_err += std::abs(ewma.estimate() - minutes);
+      legacy_err += std::abs(legacy.estimate() - minutes);
+    }
+    ewma.Observe(minutes);
+    legacy.Observe(minutes);
+  }
+  EXPECT_LT(ewma_err, legacy_err * 0.75);
 }
 
 }  // namespace

@@ -72,6 +72,34 @@ TEST(HilbertFastTest, HighDimensionalFallbackMatchesReference) {
   }
 }
 
+// Edge-case documentation of the fast-path limit: the precomputed state
+// tables stop at CurveTables::kMaxStateDims = 6, so the checked factory
+// declines higher-rank schemas with InvalidArgument (instead of silently
+// dropping to the slower non-table path the raw constructor uses, or
+// CHECK-aborting on a geometry the tables could never index).
+TEST(HilbertFastTest, CreateRejectsSchemasAboveTheStateTableLimit) {
+  // The boundary itself is fine...
+  const auto at_limit = HilbertCodec::Create(6, 10);
+  ASSERT_TRUE(at_limit.ok());
+  const std::vector<uint32_t> probe = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(at_limit->Rank(probe.data()), HilbertIndexReference(probe, 10));
+  // ...one past it is not.
+  const auto above = HilbertCodec::Create(7, 8);
+  ASSERT_FALSE(above.ok());
+  EXPECT_EQ(above.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(above.status().message().find("state tables"), std::string::npos);
+  // Invalid geometry is also a status, not an abort.
+  EXPECT_FALSE(HilbertCodec::Create(0, 4).ok());
+  EXPECT_FALSE(HilbertCodec::Create(3, 0).ok());
+  EXPECT_FALSE(HilbertCodec::Create(2, 33).ok());
+  EXPECT_FALSE(HilbertCodec::Create(64, 2).ok());
+  // The raw constructor's high-dimensional fallback stays available (and
+  // reference-exact; see HighDimensionalFallbackMatchesReference).
+  const HilbertCodec fallback(7, 8);
+  const std::vector<uint32_t> p7 = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(fallback.Rank(p7.data()), HilbertIndexReference(p7, 8));
+}
+
 TEST(HilbertFastTest, InverseRoundTripsThroughFastForward) {
   util::Rng rng(33);
   for (int trial = 0; trial < 500; ++trial) {

@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "array/array.h"
 #include "exec/operators.h"
+#include "util/rng.h"
 
 namespace arraydb::exec {
 namespace {
@@ -135,6 +138,50 @@ TEST(QuantileTest, RejectsBadArguments) {
   EXPECT_FALSE(AttrQuantile(a, 5, 0.5).ok());
   EXPECT_FALSE(AttrQuantile(a, 0, 1.5).ok());
   EXPECT_FALSE(AttrQuantile(a, -1, 0.5).ok());
+}
+
+TEST(QuantileTest, SelectionMatchesSortPathOnRandomData) {
+  // Property: the nth_element selection path is bit-identical to the
+  // retired materialize-and-sort path for any q — an order statistic is a
+  // value property of the multiset, independent of how it is found. Random
+  // values with deliberate duplicates stress tie handling.
+  util::Rng rng(417);
+  ArraySchema schema("q",
+                     {DimensionDesc{"x", 0, 63, 4, false},
+                      DimensionDesc{"y", 0, 63, 4, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array a(std::move(schema));
+  std::vector<double> values;
+  for (int i = 0; i < 700; ++i) {
+    const auto x = static_cast<int64_t>(rng.NextBounded(64));
+    const auto y = static_cast<int64_t>(rng.NextBounded(64));
+    // Coarse value lattice: ~70 distinct values over 700 draws.
+    const double v =
+        static_cast<double>(rng.NextBounded(70)) / 7.0 - 5.0;
+    if (a.InsertCell({x, y}, {v}).ok()) values.push_back(v);
+  }
+  ASSERT_GT(values.size(), 100u);
+  std::sort(values.begin(), values.end());
+  const auto sort_path = [&values](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  for (int i = 0; i <= 40; ++i) {
+    const double q = static_cast<double>(i) / 40.0;  // Hits exact indices.
+    const auto got = AttrQuantile(a, 0, q);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, sort_path(q)) << "q=" << q;
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const double q =
+        static_cast<double>(rng.NextBounded(1000000)) / 999999.0;
+    const auto got = AttrQuantile(a, 0, q);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, sort_path(q)) << "q=" << q;
+  }
 }
 
 TEST(DimJoinTest, CountsSharedPositions) {

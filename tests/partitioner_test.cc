@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "array/schema.h"
@@ -279,6 +280,23 @@ TEST(HilbertPartitionerTest, RanksAreDistinctAcrossGrid) {
     }
   }
   EXPECT_EQ(ranks.size(), 256u);
+}
+
+TEST(HilbertPartitionerDeathTest, RejectsSchemasAboveTheStateTableLimit) {
+  // Schema-driven codec construction routes through HilbertCodec::Create:
+  // a projected rank above the 6-dim state tables fails loudly at
+  // partitioner construction (naming the limit) instead of silently
+  // dropping to the slower non-table path.
+  std::vector<DimensionDesc> dims;
+  for (int d = 0; d < 7; ++d) {
+    std::string name = "d";
+    name += static_cast<char>('0' + d);
+    dims.push_back(DimensionDesc{name, 0, 3, 1, false});
+  }
+  const ArraySchema schema("sevendim", dims,
+                           {AttributeDesc{"v", AttrType::kDouble}});
+  EXPECT_DEATH(HilbertPartitioner(schema, 2, SpatialProjection::kNone),
+               "state tables");
 }
 
 // -------------------------------------------------------------- K-d Tree --
