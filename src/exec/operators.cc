@@ -271,43 +271,6 @@ inline void LoadPos(const array::Chunk& chunk, size_t i,
 
 }  // namespace
 
-int64_t DimJoinCount(const array::Array& a, const array::Array& b) {
-  // Probe the smaller side into the larger side's position table.
-  const array::Array& build = a.total_cells() <= b.total_cells() ? a : b;
-  const array::Array& probe = a.total_cells() <= b.total_cells() ? b : a;
-  std::unordered_set<array::Coordinates, array::CoordinatesHash> positions;
-  positions.reserve(static_cast<size_t>(build.total_cells()));
-  array::Coordinates scratch;
-  for (const auto& [coords, chunk] : build.chunks()) {
-    for (size_t i = 0; i < chunk.num_cells(); ++i) {
-      LoadPos(chunk, i, scratch);
-      positions.insert(scratch);
-    }
-  }
-  int64_t matches = 0;
-  for (const auto& [coords, chunk] : probe.chunks()) {
-    for (size_t i = 0; i < chunk.num_cells(); ++i) {
-      LoadPos(chunk, i, scratch);
-      if (positions.contains(scratch)) ++matches;
-    }
-  }
-  return matches;
-}
-
-int64_t AttrJoinCount(const array::Array& array, int attr,
-                      const std::unordered_set<int64_t>& keys) {
-  ARRAYDB_CHECK_GE(attr, 0);
-  ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
-  int64_t matches = 0;
-  for (const auto& [coords, chunk] : array.chunks()) {
-    if (chunk.num_cells() == 0) continue;
-    for (const double value : chunk.attr_column(static_cast<size_t>(attr))) {
-      if (keys.contains(static_cast<int64_t>(value))) ++matches;
-    }
-  }
-  return matches;
-}
-
 namespace {
 
 // Bin origin (floor division handles negative coordinates).

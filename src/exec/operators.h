@@ -9,11 +9,11 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "array/array.h"
+#include "exec/join.h"
 #include "exec/morsel.h"
 #include "util/status.h"
 
@@ -109,15 +109,9 @@ util::StatusOr<double> AttrQuantile(
     const array::Array& array, int attr, double q,
     const MorselOptions& morsel = DataPlaneMorselOptions());
 
-/// Join benchmark (MODIS): number of positions occupied in both arrays —
-/// the size of the position join used for the vegetation index.
-int64_t DimJoinCount(const array::Array& a, const array::Array& b);
-
-/// Join benchmark (AIS): cells of `array` whose attribute `attr` value
-/// (truncated to integer, e.g. ship_id) appears in `keys` — a hash join
-/// against the replicated vessel array.
-int64_t AttrJoinCount(const array::Array& array, int attr,
-                      const std::unordered_set<int64_t>& keys);
+// The join benchmarks (DimJoinCount / AttrJoinCount) moved to exec/join.h
+// — morsel-parallel radix-partitioned hash joins on Hilbert-rank keys,
+// included above so existing callers keep compiling.
 
 /// Statistics benchmark: sums attribute `attr` grouped by coarse bins of
 /// size `bin[d]` cells along each dimension. Returns bin-origin -> sum.

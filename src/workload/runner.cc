@@ -48,6 +48,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
   // examples and benches that query the arrays they feed the runner) picks
   // up the configured morsel parallelism; restored on return.
   const exec::ScopedDataPlaneThreads data_plane(config_.data_plane_threads);
+  const exec::ScopedJoinPartitionBits join_bits(config_.join_partition_bits);
   exec::QueryEngine query_engine(config_.engine_params);
 
   core::StaircaseConfig stair_cfg;

@@ -32,6 +32,7 @@
 #include "core/partitioner_factory.h"
 #include "core/provisioner.h"
 #include "exec/engine.h"
+#include "exec/join.h"
 #include "reorg/bandwidth_arbiter.h"
 #include "reorg/reorg_engine.h"
 #include "workload/workload.h"
@@ -104,6 +105,11 @@ struct RunnerConfig {
   /// convention as ingest_threads; operator results are bit-identical at
   /// every setting (morsel determinism contract).
   int data_plane_threads = 1;
+  /// Radix partition bits for the rank-keyed hash joins (exec::DimJoinCount
+  /// builds 2^bits per-partition key tables on the high Hilbert-rank bits).
+  /// Applied process-wide for the duration of Run(), like
+  /// data_plane_threads; join results are bit-identical at every setting.
+  int join_partition_bits = exec::kDefaultJoinPartitionBits;
   /// EWMA smoothing factor for the arbiter's query-overlap window estimate
   /// (reorg::OverlapWindowEstimator). 1.0 reproduces the legacy
   /// previous-cycle estimator bit for bit.

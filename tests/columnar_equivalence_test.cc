@@ -80,12 +80,12 @@ int64_t ReferenceDimJoinCount(const Array& a, const Array& b) {
 
 int64_t ReferenceAttrJoinCount(const Array& a, int attr,
                                const std::unordered_set<int64_t>& keys) {
+  // Join keys round to the nearest integer (llround, ties away from zero);
+  // non-finite values never match. Mirrors exec::AttrJoinKey.
   int64_t matches = 0;
   for (const auto& cell : a.AllCells()) {
-    if (keys.contains(
-            static_cast<int64_t>(cell.values[static_cast<size_t>(attr)]))) {
-      ++matches;
-    }
+    const double v = cell.values[static_cast<size_t>(attr)];
+    if (std::isfinite(v) && keys.contains(std::llround(v))) ++matches;
   }
   return matches;
 }

@@ -216,6 +216,25 @@ TEST(AttrJoinTest, MatchesKeySet) {
   EXPECT_EQ(AttrJoinCount(a, 0, {}), 0);
 }
 
+TEST(AttrJoinTest, FractionalValuesKeyByNearestInteger) {
+  // The join key is llround(value): nearest integer, ties away from zero —
+  // NOT truncation. -0.6 keys as -1 (truncation would give 0), 2.5 as 3.
+  ArraySchema schema("f", {DimensionDesc{"x", 0, 7, 4, false}},
+                     {AttributeDesc{"v", AttrType::kDouble}});
+  Array a(std::move(schema));
+  const std::vector<double> values = {-1.5, -0.6, -0.4, 0.4, 0.6, 2.5};
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_TRUE(
+        a.InsertCell({static_cast<int64_t>(i)}, {values[i]}).ok());
+  }
+  EXPECT_EQ(AttrJoinCount(a, 0, {-2}), 1);  // -1.5 rounds away from zero.
+  EXPECT_EQ(AttrJoinCount(a, 0, {-1}), 1);  // -0.6.
+  EXPECT_EQ(AttrJoinCount(a, 0, {0}), 2);   // -0.4 and 0.4.
+  EXPECT_EQ(AttrJoinCount(a, 0, {1}), 1);   // 0.6.
+  EXPECT_EQ(AttrJoinCount(a, 0, {3}), 1);   // 2.5 rounds away from zero.
+  EXPECT_EQ(AttrJoinCount(a, 0, {2}), 0);   // Nothing truncates to 2.
+}
+
 TEST(GroupByTest, BinsSumCorrectly) {
   const Array a = MakeGridArray();
   // Bin 4x8: two bins along x (x in 0..3 and 4..7), one along y.
