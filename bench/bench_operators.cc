@@ -19,6 +19,11 @@
 // dispatch the build selects — both arms share it — so the gate is safe on
 // forced-scalar builds too.
 //
+// Also emits `telemetry_overhead_ratio`: enabled vs runtime-disabled wall
+// time of a sequential operator pass, gated by the committed
+// `ceiling_telemetry_overhead_ratio` (<= 1.05) — the telemetry subsystem's
+// bounded-overhead contract (src/telemetry/README.md).
+//
 // Build & run:  ./build/bench_operators
 
 #include <chrono>
@@ -29,6 +34,7 @@
 #include "bench/bench_util.h"
 #include "exec/morsel.h"
 #include "exec/operators.h"
+#include "telemetry/telemetry.h"
 #include "util/thread_pool.h"
 #include "workload/sample_data.h"
 
@@ -43,6 +49,11 @@ volatile double g_sink = 0.0;
 // must stay at least this on >= 4-thread machines.
 constexpr double kRequiredParallelSpeedup = 2.0;
 constexpr int kMinThreadsForGate = 4;
+
+// The CI ceiling on telemetry cost: enabled vs runtime-disabled wall time
+// over the sequential operator pass must stay within 5%. Enforced by
+// check_bench_trend.py through the committed ceiling metric.
+constexpr double kTelemetryOverheadCeiling = 1.05;
 
 /// Minimum wall time per item over `reps` runs of fn() (which returns a
 /// checksum fed to the sink).
@@ -204,6 +215,46 @@ int main() {
                                     /*seed=*/3, opts);
                               }),
          band_cells);
+
+  // Telemetry overhead: the same sequential operator pass, instrumented
+  // (telemetry enabled) vs runtime-disabled — the closest single-binary
+  // proxy for a compiled-out build. Per-op minima over several reps keep
+  // the ratio stable against scheduler noise; the instrumentation runs at
+  // per-chunk/per-morsel granularity, so the true cost is far below the
+  // 5% ceiling.
+  const auto telemetry_pass = [&] {
+    double total_ns = 0.0;
+    total_ns += MinNsPerItem(5, band_cells, [&] {
+      return static_cast<double>(exec::FilterBoxCount(band, box, Opts(1)));
+    });
+    total_ns += MinNsPerItem(5, band_cells, [&] {
+      return static_cast<double>(
+          exec::GroupBySum(band, {2, 8, 8}, 1, Opts(1)).size());
+    });
+    total_ns += MinNsPerItem(5, band_cells, [&] {
+      return *exec::AttrQuantile(band, 1, 0.5, Opts(1));
+    });
+    return total_ns;
+  };
+  double telemetry_on_ns = 0.0;
+  double telemetry_off_ns = 0.0;
+  {
+    telemetry::ScopedEnabled on(true);
+    telemetry_on_ns = telemetry_pass();
+  }
+  {
+    telemetry::ScopedEnabled off(false);
+    telemetry_off_ns = telemetry_pass();
+  }
+  const double telemetry_overhead_ratio =
+      telemetry_off_ns > 0.0 ? telemetry_on_ns / telemetry_off_ns : 1.0;
+  writer.AddMetric("telemetry_overhead_ratio", telemetry_overhead_ratio);
+  writer.AddMetric("ceiling_telemetry_overhead_ratio",
+                   kTelemetryOverheadCeiling);
+  std::printf("\ntelemetry overhead: %.3f ns/item on, %.3f ns/item off "
+              "(ratio %.4f, ceiling %.2f)\n",
+              telemetry_on_ns, telemetry_off_ns, telemetry_overhead_ratio,
+              kTelemetryOverheadCeiling);
 
   // The gate metric: best operator speedup at full concurrency. On
   // machines below the thread floor the committed absolute gate cannot be

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/json.h"
 #include "util/strings.h"
 #include "workload/runner.h"
 
@@ -80,21 +81,31 @@ class JsonBenchWriter {
   bool WriteFile(const std::string& path) const {
     std::ofstream out(path);
     if (!out) return false;
-    out << "{\n  \"benchmarks\": [\n";
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      const auto& e = entries_[i];
-      out << "    {\"name\": \"" << e.name << "\", \"ns_per_op\": "
-          << util::StrFormat("%.3f", e.ns_per_op)
-          << ", \"items_per_second\": "
-          << util::StrFormat("%.3f", e.items_per_second) << "}"
-          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    // Serialization routes through the telemetry JsonWriter — the single
+    // escaping/number-formatting path shared with the metric snapshots and
+    // trace files (src/telemetry/json.h).
+    telemetry::JsonWriter json(out, /*pretty=*/true);
+    json.BeginObject();
+    json.Key("benchmarks");
+    json.BeginArray();
+    for (const auto& e : entries_) {
+      json.BeginObject();
+      json.Key("name");
+      json.String(e.name);
+      json.Key("ns_per_op");
+      json.Double(e.ns_per_op, "%.3f");
+      json.Key("items_per_second");
+      json.Double(e.items_per_second, "%.3f");
+      json.EndObject();
     }
-    out << "  ]";
+    json.EndArray();
     for (const auto& [name, value] : metrics_) {
-      out << ",\n  \"" << name << "\": " << util::StrFormat("%.4f", value);
+      json.Key(name);
+      json.Double(value);
     }
-    out << "\n}\n";
-    return true;
+    json.EndObject();
+    out << "\n";
+    return !out.fail();
   }
 
  private:

@@ -1,6 +1,9 @@
 // Adapter from google-benchmark's reporter interface to JsonBenchWriter:
 // records (ns/op, items/s) per benchmark run so the micro benches can emit
-// BENCH_*.json next to their console output.
+// BENCH_*.json next to their console output. Serialization (escaping and
+// number formatting) happens in JsonBenchWriter::WriteFile, which routes
+// through the shared telemetry JsonWriter (src/telemetry/json.h) — the same
+// path the metric snapshots and trace files use.
 
 #ifndef ARRAYDB_BENCH_GBENCH_JSON_H_
 #define ARRAYDB_BENCH_GBENCH_JSON_H_

@@ -25,7 +25,11 @@ Two kinds of values are compared, with different tolerances:
     whose baseline value sits near zero, where a relative tolerance is
     meaningless (e.g. ``ceiling_arbitrated_ingest_stall_minutes``: bandwidth
     arbitration must keep the ingest stall bounded, or the regression fails
-    CI even if the baseline measurement was tiny).
+    CI even if the baseline measurement was tiny). Ceilings also gate
+    same-machine ratios that hover around 1.0 — metrics ending in ``_ratio``
+    are otherwise informational, but ``ceiling_telemetry_overhead_ratio``
+    (1.05) turns bench_operators' ``telemetry_overhead_ratio`` into the
+    enforced bound on the telemetry subsystem's instrumentation cost.
   * per-benchmark ``ns_per_op`` entries (``--entries-tolerance``, default
     100%): wall-clock micro timings. Absolute nanoseconds differ between
     the baseline machine and the CI runner, so raw ratios are normalized by

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "hilbert/hilbert.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace arraydb::exec {
@@ -187,6 +188,7 @@ int64_t DimJoinCountBySet(const array::Array& a, const array::Array& b) {
 
 int64_t DimJoinCount(const array::Array& a, const array::Array& b,
                      const JoinOptions& options) {
+  TELEM_COUNTER_ADD("exec.join.dim_joins", 1);
   // Positions of different rank never compare equal: the join is empty.
   if (a.schema().num_dims() != b.schema().num_dims()) return 0;
   // Probe the larger side into the smaller side's key table (ties: `a`
@@ -201,6 +203,7 @@ int64_t DimJoinCount(const array::Array& a, const array::Array& b,
   if (!space.has_value()) {
     // No common rank key space (rank above the codec's state tables or
     // joint extents past the 64-bit budget): same semantics, set-keyed.
+    TELEM_COUNTER_ADD("exec.join.set_fallbacks", 1);
     return internal::DimJoinCountBySet(a, b);
   }
   const hilbert::HilbertCodec& codec = *space->codec;
@@ -225,54 +228,67 @@ int64_t DimJoinCount(const array::Array& a, const array::Array& b,
   // the keys into per-partition lists; lists concatenate in fixed morsel
   // order (set semantics make even that ordering immaterial, but the
   // merge contract is kept uniform with every other operator).
-  using KeyLists = std::vector<std::vector<uint64_t>>;
-  KeyLists partitioned = scheduler.Reduce(
-      CarveChunks(build_chunks, grain), KeyLists(num_partitions),
-      [&](size_t, int64_t begin, int64_t end) {
-        KeyLists local(num_partitions);
-        std::vector<uint64_t> ranks;
-        for (int64_t c = begin; c < end; ++c) {
-          const array::Chunk& chunk = *build_chunks[static_cast<size_t>(c)];
-          ranks.resize(chunk.num_cells());
-          codec.RankPacked(chunk.packed_coords().data(), chunk.num_cells(),
-                           key_lo, ranks.data());
-          for (const uint64_t key : ranks) {
-            local[partition_of(key)].push_back(key);
-          }
-        }
-        return local;
-      },
-      [](KeyLists& acc, KeyLists&& partial) {
-        for (size_t p = 0; p < acc.size(); ++p) {
-          std::move(partial[p].begin(), partial[p].end(),
-                    std::back_inserter(acc[p]));
-        }
-      });
-
-  // Build stage 2 — partition-parallel table construction: each partition's
-  // flat table is built by exactly one morsel (its own slot; insertion
-  // order cannot affect set membership).
   std::vector<FlatKeySet> tables(num_partitions);
-  scheduler.Run(
-      MorselScheduler::Carve(static_cast<int64_t>(num_partitions), 1),
-      [&](size_t, int64_t begin, int64_t end) {
-        for (int64_t p = begin; p < end; ++p) {
-          auto& keys = partitioned[static_cast<size_t>(p)];
-          auto& table = tables[static_cast<size_t>(p)];
-          table.Reserve(keys.size());
-          for (const uint64_t key : keys) table.Insert(key);
-          keys.clear();
-          keys.shrink_to_fit();
-        }
-      });
+  {
+    TELEM_SPAN("exec.join.build");
+    TELEM_COUNTER_ADD("exec.join.build_keys", build.total_cells());
+    using KeyLists = std::vector<std::vector<uint64_t>>;
+    KeyLists partitioned = scheduler.Reduce(
+        CarveChunks(build_chunks, grain), KeyLists(num_partitions),
+        [&](size_t, int64_t begin, int64_t end) {
+          KeyLists local(num_partitions);
+          std::vector<uint64_t> ranks;
+          for (int64_t c = begin; c < end; ++c) {
+            const array::Chunk& chunk = *build_chunks[static_cast<size_t>(c)];
+            ranks.resize(chunk.num_cells());
+            codec.RankPacked(chunk.packed_coords().data(), chunk.num_cells(),
+                             key_lo, ranks.data());
+            for (const uint64_t key : ranks) {
+              local[partition_of(key)].push_back(key);
+            }
+          }
+          return local;
+        },
+        [](KeyLists& acc, KeyLists&& partial) {
+          for (size_t p = 0; p < acc.size(); ++p) {
+            std::move(partial[p].begin(), partial[p].end(),
+                      std::back_inserter(acc[p]));
+          }
+        });
+
+    // The partition-size histogram reads the merged (schedule-independent)
+    // lists, so its contents are thread-count invariant too.
+    for (const auto& keys : partitioned) {
+      TELEM_HISTOGRAM_RECORD("exec.join.partition_cells",
+                             static_cast<int64_t>(keys.size()));
+    }
+
+    // Build stage 2 — partition-parallel table construction: each
+    // partition's flat table is built by exactly one morsel (its own slot;
+    // insertion order cannot affect set membership).
+    scheduler.Run(
+        MorselScheduler::Carve(static_cast<int64_t>(num_partitions), 1),
+        [&](size_t, int64_t begin, int64_t end) {
+          for (int64_t p = begin; p < end; ++p) {
+            auto& keys = partitioned[static_cast<size_t>(p)];
+            auto& table = tables[static_cast<size_t>(p)];
+            table.Reserve(keys.size());
+            for (const uint64_t key : keys) table.Insert(key);
+            keys.clear();
+            keys.shrink_to_fit();
+          }
+        });
+  }
 
   // Probe — morsel-parallel with per-morsel match counters, merged in
   // fixed morsel order (integer sums: bit-identical in any order, the
   // fixed order keeps the uniform contract).
-  return scheduler.Reduce(
+  TELEM_SPAN("exec.join.probe");
+  TELEM_COUNTER_ADD("exec.join.probe_cells", probe.total_cells());
+  const int64_t matches = scheduler.Reduce(
       CarveChunks(probe_chunks, grain), int64_t{0},
       [&](size_t, int64_t begin, int64_t end) {
-        int64_t matches = 0;
+        int64_t local = 0;
         std::vector<uint64_t> ranks;
         for (int64_t c = begin; c < end; ++c) {
           const array::Chunk& chunk = *probe_chunks[static_cast<size_t>(c)];
@@ -280,12 +296,14 @@ int64_t DimJoinCount(const array::Array& a, const array::Array& b,
           codec.RankPacked(chunk.packed_coords().data(), chunk.num_cells(),
                            key_lo, ranks.data());
           for (const uint64_t key : ranks) {
-            if (tables[partition_of(key)].Contains(key)) ++matches;
+            if (tables[partition_of(key)].Contains(key)) ++local;
           }
         }
-        return matches;
+        return local;
       },
       [](int64_t& acc, int64_t partial) { acc += partial; });
+  TELEM_COUNTER_ADD("exec.join.probe_hits", matches);
+  return matches;
 }
 
 // -- Attribute join -----------------------------------------------------------
@@ -304,6 +322,7 @@ int64_t AttrJoinCount(const array::Array& array, int attr,
                       const JoinOptions& options) {
   ARRAYDB_CHECK_GE(attr, 0);
   ARRAYDB_CHECK_LT(attr, array.schema().num_attrs());
+  TELEM_COUNTER_ADD("exec.join.attr_joins", 1);
   const std::vector<const array::Chunk*> chunks = NonEmptyChunks(array);
   if (chunks.empty() || keys.empty()) return 0;
   // One flat table replaces the node-based set for the whole probe: the
@@ -313,10 +332,11 @@ int64_t AttrJoinCount(const array::Array& array, int attr,
   table.Reserve(keys.size());
   for (const int64_t key : keys) table.Insert(static_cast<uint64_t>(key));
   const MorselScheduler scheduler(options.morsel);
-  return scheduler.Reduce(
+  TELEM_SPAN("exec.join.attr_probe");
+  const int64_t matches = scheduler.Reduce(
       CarveChunks(chunks, options.morsel.grain_cells), int64_t{0},
       [&](size_t, int64_t begin, int64_t end) {
-        int64_t matches = 0;
+        int64_t local = 0;
         for (int64_t c = begin; c < end; ++c) {
           const array::Chunk& chunk = *chunks[static_cast<size_t>(c)];
           for (const double value :
@@ -324,13 +344,15 @@ int64_t AttrJoinCount(const array::Array& array, int attr,
             int64_t key;
             if (AttrJoinKey(value, &key) &&
                 table.Contains(static_cast<uint64_t>(key))) {
-              ++matches;
+              ++local;
             }
           }
         }
-        return matches;
+        return local;
       },
       [](int64_t& acc, int64_t partial) { acc += partial; });
+  TELEM_COUNTER_ADD("exec.join.attr_probe_hits", matches);
+  return matches;
 }
 
 }  // namespace arraydb::exec

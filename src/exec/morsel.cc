@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace arraydb::exec {
@@ -75,14 +76,28 @@ void MorselScheduler::Run(
     const std::function<void(size_t, int64_t, int64_t)>& fn) const {
   const size_t count = morsels.size();
   if (count == 0) return;
+  TELEM_SPAN("exec.morsel.run");
+  // Counted identically on Reduce's inline path, so the totals are
+  // thread-count invariant (the per-worker busy histogram below is the
+  // one schedule-dependent observation, and is documented as such).
+  TELEM_COUNTER_ADD("exec.morsel.runs", 1);
+  TELEM_COUNTER_ADD("exec.morsel.morsels_dispatched",
+                    static_cast<int64_t>(count));
 
   // Shared ascending pickup: whichever worker is free takes the next morsel
   // index, so pickup order is chunk-major and load balancing is dynamic.
   std::atomic<size_t> next{0};
   const auto pump = [&next, &morsels, &fn, count] {
+    TELEM_SPAN("exec.morsel.worker");
+    const int64_t busy_start_ns = telemetry::MetricsNowNs();
     for (size_t m = next.fetch_add(1, std::memory_order_relaxed); m < count;
          m = next.fetch_add(1, std::memory_order_relaxed)) {
       fn(m, morsels[m].first, morsels[m].second);
+    }
+    if (busy_start_ns > 0) {
+      TELEM_HISTOGRAM_RECORD(
+          "exec.morsel.worker_busy_us",
+          (telemetry::MetricsNowNs() - busy_start_ns) / 1000);
     }
   };
 

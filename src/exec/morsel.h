@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace arraydb::exec {
@@ -111,7 +112,15 @@ class MorselScheduler {
     State acc = std::move(init);
     if (morsels.size() <= 1 || threads_ <= 1) {
       // Inline path: same morsels, same combine order — the parallel
-      // result is defined as exactly this computation.
+      // result is defined as exactly this computation. The morsel counters
+      // mirror Run()'s exactly, so exec.morsel.* totals are invariant
+      // across thread counts (the telemetry face of the determinism
+      // contract).
+      if (!morsels.empty()) {
+        TELEM_COUNTER_ADD("exec.morsel.runs", 1);
+        TELEM_COUNTER_ADD("exec.morsel.morsels_dispatched",
+                          static_cast<int64_t>(morsels.size()));
+      }
       for (size_t m = 0; m < morsels.size(); ++m) {
         combine(acc, morsel_fn(m, morsels[m].first, morsels[m].second));
       }

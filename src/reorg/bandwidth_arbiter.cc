@@ -1,8 +1,11 @@
 #include "reorg/bandwidth_arbiter.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
+#include "util/units.h"
 
 namespace arraydb::reorg {
 
@@ -49,6 +52,13 @@ cluster::BandwidthBudget BandwidthArbiter::PlanCycle(
     granted.migration_gb = remaining;
     granted.deadline_binding = true;
   }
+  TELEM_COUNTER_ADD("reorg.arbiter.grants", 1);
+  TELEM_COUNTER_ADD("reorg.arbiter.granted_bytes",
+                    std::llround(util::GbToBytes(granted.migration_gb)));
+  if (granted.deadline_binding) {
+    TELEM_COUNTER_ADD("reorg.arbiter.deadline_force_grants", 1);
+  }
+  TELEM_GAUGE_SET("reorg.arbiter.cycles_left", cycles_left_);
   cycles_left_ = std::max(1, cycles_left_ - 1);
   budget_trajectory_.push_back(granted.migration_gb);
   return granted;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
@@ -71,6 +72,7 @@ util::Status IncrementalReorgEngine::Begin(const cluster::MovePlan& plan,
         "budget callback is set");
   }
   if (auto status = cluster_->BeginApply(plan); !status.ok()) return status;
+  TELEM_COUNTER_ADD("reorg.engine.plans", 1);
   first_new_node_ = first_new_node;
   summary_ = ReorgSummary();
   summary_.only_to_new_nodes = plan.OnlyToNodesAtOrAbove(first_new_node);
@@ -82,6 +84,7 @@ util::Status IncrementalReorgEngine::Begin(const cluster::MovePlan& plan,
 }
 
 util::StatusOr<IncrementStats> IncrementalReorgEngine::Step() {
+  TELEM_SPAN("reorg.engine.step");
   const int64_t budget_bytes = NextBudgetBytes();
   auto slice_or = cluster_->AdvanceIncrement(budget_bytes);
   if (!slice_or.ok()) return slice_or.status();
@@ -124,6 +127,13 @@ util::StatusOr<IncrementStats> IncrementalReorgEngine::Step() {
                       .minutes;
 
   if (auto status = cluster_->CommitIncrement(); !status.ok()) return status;
+
+  TELEM_COUNTER_ADD("reorg.engine.increments", 1);
+  TELEM_COUNTER_ADD("reorg.engine.bytes_moved", slice.TotalBytes());
+  TELEM_COUNTER_ADD("reorg.engine.chunks_moved", stats.chunks_moved);
+  if (stats.over_budget) {
+    TELEM_COUNTER_ADD("reorg.engine.over_budget_increments", 1);
+  }
 
   summary_.increments += 1;
   summary_.slice_minutes += stats.minutes;

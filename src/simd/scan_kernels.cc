@@ -3,9 +3,29 @@
 #include <algorithm>
 
 #include "simd/dispatch.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace arraydb::simd {
+
+namespace {
+
+// Resolves the dispatch level once per kernel call and counts which code
+// path serves it (simd.dispatch.avx2_calls / scalar_calls). Observe-only:
+// the returned level is exactly ActiveLevel(), counted or not.
+inline DispatchLevel CountedActiveLevel() {
+  const DispatchLevel level = ActiveLevel();
+#ifdef ARRAYDB_SIMD_HAVE_AVX2
+  if (level == DispatchLevel::kAvx2) {
+    TELEM_COUNTER_ADD("simd.dispatch.avx2_calls", 1);
+    return level;
+  }
+#endif
+  TELEM_COUNTER_ADD("simd.dispatch.scalar_calls", 1);
+  return level;
+}
+
+}  // namespace
 
 namespace scalar {
 
@@ -70,8 +90,9 @@ void BBoxIntersectMask(const BBoxSoA& boxes, const int64_t* qlo,
 void RangeMask(const int64_t* coords, size_t count, size_t ndims,
                const int64_t* lo, const int64_t* hi, uint8_t* out) {
   ARRAYDB_CHECK_GE(ndims, 1u);
+  [[maybe_unused]] const DispatchLevel level = CountedActiveLevel();
 #ifdef ARRAYDB_SIMD_HAVE_AVX2
-  if (ActiveLevel() == DispatchLevel::kAvx2) {
+  if (level == DispatchLevel::kAvx2) {
     avx2::RangeMask(coords, count, ndims, lo, hi, out);
     return;
   }
@@ -80,24 +101,27 @@ void RangeMask(const int64_t* coords, size_t count, size_t ndims,
 }
 
 double Sum(const double* v, size_t n) {
+  [[maybe_unused]] const DispatchLevel level = CountedActiveLevel();
 #ifdef ARRAYDB_SIMD_HAVE_AVX2
-  if (ActiveLevel() == DispatchLevel::kAvx2) return avx2::Sum(v, n);
+  if (level == DispatchLevel::kAvx2) return avx2::Sum(v, n);
 #endif
   return scalar::Sum(v, n);
 }
 
 double Min(const double* v, size_t n) {
   ARRAYDB_CHECK_GE(n, 1u);
+  [[maybe_unused]] const DispatchLevel level = CountedActiveLevel();
 #ifdef ARRAYDB_SIMD_HAVE_AVX2
-  if (ActiveLevel() == DispatchLevel::kAvx2) return avx2::Min(v, n);
+  if (level == DispatchLevel::kAvx2) return avx2::Min(v, n);
 #endif
   return scalar::Min(v, n);
 }
 
 double Max(const double* v, size_t n) {
   ARRAYDB_CHECK_GE(n, 1u);
+  [[maybe_unused]] const DispatchLevel level = CountedActiveLevel();
 #ifdef ARRAYDB_SIMD_HAVE_AVX2
-  if (ActiveLevel() == DispatchLevel::kAvx2) return avx2::Max(v, n);
+  if (level == DispatchLevel::kAvx2) return avx2::Max(v, n);
 #endif
   return scalar::Max(v, n);
 }
@@ -127,8 +151,9 @@ void MaskToSpans(const uint8_t* mask, size_t n,
 
 void BBoxIntersectMask(const BBoxSoA& boxes, const int64_t* qlo,
                        const int64_t* qhi, uint8_t* out) {
+  [[maybe_unused]] const DispatchLevel level = CountedActiveLevel();
 #ifdef ARRAYDB_SIMD_HAVE_AVX2
-  if (ActiveLevel() == DispatchLevel::kAvx2) {
+  if (level == DispatchLevel::kAvx2) {
     avx2::BBoxIntersectMask(boxes, qlo, qhi, out);
     return;
   }

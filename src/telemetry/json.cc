@@ -1,0 +1,121 @@
+#include "telemetry/json.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace arraydb::telemetry {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent(size_t depth) {
+  out_ << "\n";
+  for (size_t i = 0; i < depth; ++i) out_ << "  ";
+}
+
+void JsonWriter::ValuePrefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Frame& frame = stack_.back();
+  if (!frame.first) out_ << ",";
+  frame.first = false;
+  if (pretty_) Indent(stack_.size());
+}
+
+void JsonWriter::Key(std::string_view name) {
+  ARRAYDB_CHECK(!stack_.empty());
+  ARRAYDB_CHECK(!pending_key_);
+  Frame& frame = stack_.back();
+  if (!frame.first) out_ << ",";
+  frame.first = false;
+  if (pretty_) Indent(stack_.size());
+  out_ << '"' << JsonEscape(name) << (pretty_ ? "\": " : "\":");
+  pending_key_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  ValuePrefix();
+  out_ << "{";
+  stack_.push_back(Frame{});
+}
+
+void JsonWriter::EndObject() {
+  ARRAYDB_CHECK(!stack_.empty());
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (pretty_ && !frame.first) Indent(stack_.size());
+  out_ << "}";
+}
+
+void JsonWriter::BeginArray() {
+  ValuePrefix();
+  out_ << "[";
+  stack_.push_back(Frame{});
+}
+
+void JsonWriter::EndArray() {
+  ARRAYDB_CHECK(!stack_.empty());
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (pretty_ && !frame.first) Indent(stack_.size());
+  out_ << "]";
+}
+
+void JsonWriter::String(std::string_view value) {
+  ValuePrefix();
+  out_ << '"' << JsonEscape(value) << '"';
+}
+
+void JsonWriter::Double(double value, const char* fmt) {
+  ValuePrefix();
+  out_ << util::StrFormat(fmt, value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  ValuePrefix();
+  out_ << value;
+}
+
+void JsonWriter::Bool(bool value) {
+  ValuePrefix();
+  out_ << (value ? "true" : "false");
+}
+
+}  // namespace arraydb::telemetry

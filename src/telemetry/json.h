@@ -1,0 +1,67 @@
+// The one JSON emission path for every machine-readable artifact this repo
+// writes: telemetry metric snapshots, Chrome trace-event files, and the
+// BENCH_*.json benchmark records (bench/bench_util.h routes through here).
+// Centralizing the writer means one escaping implementation and one numeric
+// formatting convention, so ci/check_bench_trend.py and ci/check_trace.py
+// parse every producer the same way.
+//
+// The writer is deliberately streaming and explicit (Begin/End pairs,
+// Key-then-value) rather than a DOM: every caller already knows its shape,
+// and output is byte-stable for a given call sequence — which is what makes
+// telemetry snapshots diffable across runs.
+
+#ifndef ARRAYDB_TELEMETRY_JSON_H_
+#define ARRAYDB_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arraydb::telemetry {
+
+/// Escapes `s` for inclusion in a double-quoted JSON string: quote,
+/// backslash, and control characters (\b \f \n \r \t, \u00XX for the rest).
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// `pretty` indents nested containers by two spaces and breaks lines
+  /// between members; compact mode (trace files) emits no whitespace.
+  explicit JsonWriter(std::ostream& out, bool pretty = true)
+      : out_(out), pretty_(pretty) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object member key (escaped); the next value call provides the
+  /// member's value. Only valid directly inside an object.
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  /// Formats with a printf double format (default "%.4f", the convention
+  /// the bench metrics established).
+  void Double(double value, const char* fmt = "%.4f");
+  void Int(int64_t value);
+  void Bool(bool value);
+
+ private:
+  void ValuePrefix();  // Comma / newline / indent before a value.
+  void Indent(size_t depth);
+
+  struct Frame {
+    bool first = true;
+  };
+
+  std::ostream& out_;
+  bool pretty_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace arraydb::telemetry
+
+#endif  // ARRAYDB_TELEMETRY_JSON_H_

@@ -9,6 +9,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 namespace arraydb::util {
 
@@ -16,6 +21,49 @@ namespace arraydb::util {
                                      const char* expr) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
   std::abort();
+}
+
+namespace internal {
+
+// True when `std::ostream << T` is well-formed — the gate for printing
+// CHECK_OP operand values.
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+void StreamOperand(std::ostream& os, const T& v) {
+  if constexpr (IsStreamable<T>::value) {
+    // Unary plus promotes char-family integrals so they print numerically
+    // ('\0' prints as 0, not as a NUL byte in the abort message).
+    if constexpr (std::is_integral_v<T>) {
+      os << +v;
+    } else {
+      os << v;
+    }
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+}  // namespace internal
+
+// Comparison-check failure with the two operand values appended — so the
+// abort message shows what was actually compared, not just the expression.
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const A& a, const B& b) {
+  std::ostringstream os;
+  os << expr << " (";
+  internal::StreamOperand(os, a);
+  os << " vs. ";
+  internal::StreamOperand(os, b);
+  os << ")";
+  CheckFailed(file, line, os.str().c_str());
 }
 
 }  // namespace arraydb::util
@@ -30,14 +78,15 @@ namespace arraydb::util {
   } while (false)
 
 // Convenience comparison checks. These deliberately evaluate their arguments
-// exactly once.
+// exactly once; on failure the message includes both operand values (for
+// types with an ostream operator<<; others print as <unprintable>).
 #define ARRAYDB_CHECK_OP(a, op, b)                                   \
   do {                                                               \
     const auto& va_ = (a);                                           \
     const auto& vb_ = (b);                                           \
     if (!(va_ op vb_)) {                                             \
-      ::arraydb::util::CheckFailed(__FILE__, __LINE__,               \
-                                   #a " " #op " " #b);               \
+      ::arraydb::util::CheckOpFailed(__FILE__, __LINE__,             \
+                                     #a " " #op " " #b, va_, vb_);   \
     }                                                                \
   } while (false)
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace arraydb::util {
@@ -28,7 +29,9 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ARRAYDB_CHECK(!stopping_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), telemetry::MetricsNowNs()});
+    TELEM_GAUGE_SET("util.thread_pool.queue_depth",
+                    static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -38,10 +41,13 @@ void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ARRAYDB_CHECK(!stopping_);
+    const int64_t now_ns = telemetry::MetricsNowNs();
     for (auto& task : tasks) {
       ARRAYDB_CHECK(task != nullptr);
-      queue_.push_back(std::move(task));
+      queue_.push_back(Task{std::move(task), now_ns});
     }
+    TELEM_GAUGE_SET("util.thread_pool.queue_depth",
+                    static_cast<int64_t>(queue_.size()));
   }
   if (tasks.size() == 1) {
     work_available_.notify_one();
@@ -52,7 +58,7 @@ void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -60,7 +66,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Observe-only timing: start_ns is 0 (and nothing is recorded) when
+    // telemetry is off, so the task always runs identically.
+    const int64_t start_ns = telemetry::MetricsNowNs();
+    if (start_ns > 0 && task.enqueue_ns > 0) {
+      TELEM_HISTOGRAM_RECORD("util.thread_pool.queue_wait_us",
+                             (start_ns - task.enqueue_ns) / 1000);
+    }
+    task.fn();
+    TELEM_COUNTER_ADD("util.thread_pool.tasks_executed", 1);
+    if (start_ns > 0) {
+      TELEM_HISTOGRAM_RECORD("util.thread_pool.task_us",
+                             (telemetry::MetricsNowNs() - start_ns) / 1000);
+    }
   }
 }
 

@@ -44,11 +44,19 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
+  // Queued work item. The enqueue timestamp feeds the
+  // util.thread_pool.queue_wait_us telemetry histogram; it is 0 (and the
+  // wait is not recorded) when telemetry is inactive.
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,6 +1,7 @@
 #include "workload/runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <thread>
 
@@ -8,6 +9,7 @@
 #include "exec/morsel.h"
 #include "reorg/bandwidth_arbiter.h"
 #include "reorg/reorg_engine.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
@@ -35,7 +37,47 @@ std::vector<double> RunResult::IngestStallTrajectory() const {
   return out;
 }
 
+namespace {
+
+// Simulated minutes → integer milliseconds for the telemetry registry
+// (metric values are integers so snapshots stay byte-stable).
+int64_t MinutesToMs(double minutes) {
+  return std::llround(minutes * 60.0 * 1000.0);
+}
+
+// Mirrors one finished cycle's metrics into the process-wide registry
+// (workload.runner.*). Observe-only: reads CycleMetrics, writes nothing.
+void RecordCycleTelemetry(const CycleMetrics& m, bool scaled_out) {
+  TELEM_COUNTER_ADD("workload.runner.cycles", 1);
+  if (scaled_out) TELEM_COUNTER_ADD("workload.runner.scale_outs", 1);
+  if (m.reorg_forced_drain) {
+    TELEM_COUNTER_ADD("workload.runner.forced_drains", 1);
+  }
+  TELEM_COUNTER_ADD("workload.runner.queries",
+                    static_cast<int64_t>(m.query_minutes.size()));
+  TELEM_COUNTER_ADD("workload.runner.insert_ms",
+                    MinutesToMs(m.insert_minutes));
+  TELEM_COUNTER_ADD("workload.runner.reorg_ms", MinutesToMs(m.reorg_minutes));
+  TELEM_COUNTER_ADD("workload.runner.query_ms",
+                    MinutesToMs(m.spj_minutes + m.science_minutes));
+  TELEM_GAUGE_SET("workload.runner.nodes", m.nodes_after);
+  for (const auto& [name, minutes] : m.query_minutes) {
+    TELEM_HISTOGRAM_RECORD("workload.runner.query_latency_ms",
+                           MinutesToMs(minutes));
+  }
+  TELEM_HISTOGRAM_RECORD("workload.runner.cycle_elapsed_ms",
+                         MinutesToMs(m.elapsed_minutes));
+}
+
+}  // namespace
+
 RunResult WorkloadRunner::Run(const Workload& workload) const {
+  // Config-scoped trace capture: span recording turns on for the run and
+  // the buffered events are written at the end. A no-op when trace_path is
+  // empty (the ARRAYDB_TRACE env hook covers that case process-wide).
+  std::optional<telemetry::ScopedTracing> tracing;
+  if (!config_.trace_path.empty()) tracing.emplace();
+
   const double capacity = workload.node_capacity_gb();
   core::ElasticEngine engine(
       core::MakePartitioner(config_.partitioner, workload.schema(),
@@ -86,6 +128,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
   } charged;
 
   for (int cycle = 0; cycle < workload.num_cycles(); ++cycle) {
+    TELEM_SPAN("workload.runner.cycle");
     CycleMetrics m;
     m.cycle = cycle;
     m.nodes_before = engine.cluster().num_nodes();
@@ -336,6 +379,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     result.total_over_budget_increments += m.reorg_over_budget_increments;
     result.total_elapsed_minutes += m.elapsed_minutes;
     result.mean_rsd += m.rsd;
+    RecordCycleTelemetry(m, to_add > 0);
     result.cycles.push_back(std::move(m));
   }
   if (!result.cycles.empty()) {
@@ -344,6 +388,10 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
   result.final_nodes = result.cycles.empty()
                            ? config_.initial_nodes
                            : result.cycles.back().nodes_after;
+  if (tracing.has_value()) {
+    tracing.reset();  // Close the capture window before serializing.
+    telemetry::WriteTrace(config_.trace_path);
+  }
   return result;
 }
 

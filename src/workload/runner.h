@@ -130,6 +130,12 @@ struct RunnerConfig {
   cluster::CostParams cost_params;
   exec::EngineParams engine_params;
   bool run_queries = true;
+  /// When non-empty, Run() records telemetry trace spans for its duration
+  /// and writes them to this path as Chrome trace-event JSON (load it in
+  /// chrome://tracing or Perfetto). Observe-only: results are bit-identical
+  /// with or without tracing. The ARRAYDB_TRACE environment variable offers
+  /// the same capture process-wide without touching the config.
+  std::string trace_path;
 };
 
 /// Everything measured in one workload cycle.
