@@ -44,7 +44,7 @@ int main() {
     cfg.run_queries = false;
     // Chunk-parallel ingest (placement prewarm sharded over all cores);
     // metrics are identical to the sequential mode by construction.
-    cfg.ingest_threads = 0;
+    cfg.ingest.threads = 0;
     workload::WorkloadRunner runner(cfg);
     const auto rm = runner.Run(modis);
     const auto ra = runner.Run(ais);

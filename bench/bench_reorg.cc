@@ -23,9 +23,9 @@ namespace {
 workload::RunResult RunMode(workload::ReorgMode mode, double increment_gb) {
   workload::RunnerConfig cfg = bench::PartitionerExperimentConfig(
       core::PartitionerKind::kHilbertCurve);
-  cfg.reorg_mode = mode;
-  cfg.reorg_increment_gb = increment_gb;
-  cfg.ingest_threads = 0;  // Auto: exercise the parallel prewarm overlap.
+  cfg.reorg.mode = mode;
+  cfg.reorg.increment_gb = increment_gb;
+  cfg.ingest.threads = 0;  // Auto: exercise the parallel prewarm overlap.
   workload::AisWorkload ais;
   return workload::WorkloadRunner(cfg).Run(ais);
 }
@@ -39,9 +39,9 @@ workload::RunResult RunStaircase(workload::MigrationBudgetPolicy policy) {
       core::PartitionerKind::kHilbertCurve);
   cfg.policy = workload::ScaleOutPolicy::kStaircase;
   cfg.max_nodes = 64;  // The staircase decides on its own.
-  cfg.reorg_mode = workload::ReorgMode::kOverlapped;
-  cfg.budget_policy = policy;
-  cfg.ingest_threads = 0;
+  cfg.reorg.mode = workload::ReorgMode::kOverlapped;
+  cfg.reorg.budget_policy = policy;
+  cfg.ingest.threads = 0;
   cfg.cost_params.net_minutes_per_gb = 1.0;
   workload::AisConfig heavy;
   heavy.gb_per_month = 25.0;  // ~1 TB over the 10 quarterly cycles.

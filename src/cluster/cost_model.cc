@@ -113,10 +113,18 @@ BandwidthBudget CostModel::ArbitrateBandwidth(
       (remote_frac * params_.net_minutes_per_gb +
        (1.0 - remote_frac) * params_.io_minutes_per_gb);
 
+  // The free window is what queries and ingest leave behind. The query
+  // reservation is zero for every legacy two-way caller
+  // (projected_query_minutes defaults to 0), so the two-way split is the
+  // exact special case of the three-way arbitration.
+  const double query_reserved_minutes =
+      clamps.query_reserve_fraction *
+      std::max(0.0, demand.projected_query_minutes);
   const double free_minutes =
       std::max(0.0, demand.overlap_window_minutes -
                         clamps.ingest_reserve_fraction *
-                            budget.ingest_reserved_minutes);
+                            budget.ingest_reserved_minutes -
+                        query_reserved_minutes);
   budget.window_capacity_gb = rate > 0.0 ? free_minutes / rate : remaining;
 
   // Use the free window when it is there (finishing early costs nothing),
@@ -132,6 +140,37 @@ BandwidthBudget CostModel::ArbitrateBandwidth(
   budget.predicted_stall_minutes =
       std::max(0.0, granted - budget.window_capacity_gb) * rate;
   return budget;
+}
+
+BandwidthShares CostModel::ArbitrateThreeWay(
+    const BandwidthDemand& demand, const ArbitrationClamps& clamps) const {
+  BandwidthShares shares;
+  const double query_minutes = std::max(0.0, demand.projected_query_minutes);
+  shares.query_reserved_minutes =
+      clamps.query_reserve_fraction * query_minutes;
+  shares.window_minutes =
+      std::max(demand.overlap_window_minutes, query_minutes);
+  shares.budget = ArbitrateBandwidth(demand, clamps);
+
+  const double rate = params_.net_minutes_per_gb + params_.io_minutes_per_gb;
+  shares.migration_minutes = shares.budget.migration_gb * rate;
+
+  // Dilation: migration minutes beyond the free window (what queries and
+  // ingest left over) intrude into protected query time; the intrusion is
+  // amortized over the query tier's own service minutes. When the grant
+  // fits the free window — the usual case once queries reserve first —
+  // migration is fully hidden and the dilation is exactly 1.
+  if (query_minutes > 0.0) {
+    const double free_minutes =
+        std::max(0.0, shares.window_minutes -
+                          clamps.ingest_reserve_fraction *
+                              shares.budget.ingest_reserved_minutes -
+                          shares.query_reserved_minutes);
+    const double intrusion =
+        std::max(0.0, shares.migration_minutes - free_minutes);
+    shares.query_dilation = 1.0 + intrusion / query_minutes;
+  }
+  return shares;
 }
 
 }  // namespace arraydb::cluster

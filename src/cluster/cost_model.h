@@ -77,6 +77,13 @@ struct BandwidthDemand {
   /// free (typically the previous cycle's benchmark minutes).
   double overlap_window_minutes = 0.0;
   int num_nodes = 1;
+  /// Minutes of query service the cycle's serving layer projects it must
+  /// deliver (its smoothed per-cycle demand). 0 — the default, and what
+  /// every legacy two-way caller passes — reduces the arbitration exactly
+  /// to the migration-vs-ingest split; a positive value makes queries the
+  /// third first-class party: their reservation shrinks the free window
+  /// before migration may claim it (ArbitrateThreeWay).
+  double projected_query_minutes = 0.0;
 };
 
 /// Clamps applied to the arbitrated budget so neither side of the split
@@ -90,6 +97,11 @@ struct ArbitrationClamps {
   /// Fraction of the ingest's modeled link time reserved before migration
   /// may claim the overlap window (1.0 = ingest fully reserved first).
   double ingest_reserve_fraction = 1.0;
+  /// Fraction of the projected query service minutes reserved before
+  /// migration may claim the overlap window (1.0 = queries fully reserved
+  /// first). Only bites when BandwidthDemand::projected_query_minutes is
+  /// positive, i.e. under the three-way serving arbitration.
+  double query_reserve_fraction = 1.0;
 };
 
 /// One cycle's bandwidth split returned by ArbitrateBandwidth.
@@ -109,6 +121,29 @@ struct BandwidthBudget {
   /// True when the just-in-time deadline (not the free window) set the
   /// grant.
   bool deadline_binding = false;
+};
+
+/// One cycle's three-way queries/ingest/migration split returned by
+/// ArbitrateThreeWay: the migration-side budget plus the query tier's
+/// reservation and the dilation its service suffers when the granted
+/// migration (plus the ingest reservation) overflows the cycle's window.
+struct BandwidthShares {
+  /// The migration-vs-ingest split, computed with the query reservation
+  /// already subtracted from the free window.
+  BandwidthBudget budget;
+  /// Minutes reserved for query service this cycle
+  /// (query_reserve_fraction * projected_query_minutes).
+  double query_reserved_minutes = 0.0;
+  /// Modeled minutes of the migration grant (grant * per-GB rate).
+  double migration_minutes = 0.0;
+  /// The cycle's window envelope: the larger of the overlap window and the
+  /// projected query minutes.
+  double window_minutes = 0.0;
+  /// Service-time dilation of the query tier, >= 1: how much slower query
+  /// service runs because migration traffic intruded into the time
+  /// protected for queries (1.0 = migration fully hidden). The serving
+  /// layer multiplies per-request service times by this factor.
+  double query_dilation = 1.0;
 };
 
 class CostModel {
@@ -135,6 +170,19 @@ class CostModel {
   /// non-increasing in projected_ingest_gb: heavier ingest shrinks the
   /// free window, backing migration off toward the just-in-time minimum.
   BandwidthBudget ArbitrateBandwidth(
+      const BandwidthDemand& demand,
+      const ArbitrationClamps& clamps = ArbitrationClamps()) const;
+
+  /// The three-way generalization: queries, ingest, and migration share
+  /// one cycle's bandwidth. Queries reserve query_reserve_fraction of
+  /// their projected service minutes and ingest reserves its Eq. 6 link
+  /// time before migration claims the remainder of the window (the same
+  /// grant math as ArbitrateBandwidth — with projected_query_minutes = 0
+  /// the two are identical). On top of the migration budget it reports
+  /// the query tier's dilation: when the deadline forces a grant past the
+  /// free window, the intrusion lands on query service time, and the
+  /// serving layer stretches per-request service by this factor.
+  BandwidthShares ArbitrateThreeWay(
       const BandwidthDemand& demand,
       const ArbitrationClamps& clamps = ArbitrationClamps()) const;
 

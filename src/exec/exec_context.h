@@ -1,0 +1,76 @@
+// ExecContext: the explicit per-call execution settings of the data-plane
+// operators and joins — worker threads, morsel grain, join partition bits,
+// and an optional cooperative yield gate.
+//
+// Before the serving layer, these settings lived in process-global mutable
+// knobs (SetDataPlaneThreads / SetJoinPartitionBits) that every operator
+// read per call; two concurrent sessions could not run with different
+// settings, and a configuration racing an in-flight join was a data race.
+// The context object retires that: sessions thread an ExecContext through
+// the operator and join entry points (exec/operators.h and exec/join.h
+// carry ExecContext overloads), so concurrent sessions are fully
+// independent. The legacy knobs survive as thin shims over one
+// process-default context, now mutex-guarded — safe to *read* from any
+// number of concurrent operator calls, but mutating the default remains a
+// single-threaded-setup affair (a session that needs its own settings
+// passes its own context instead of mutating the shared default).
+
+#ifndef ARRAYDB_EXEC_EXEC_CONTEXT_H_
+#define ARRAYDB_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "exec/join.h"
+
+namespace arraydb::exec {
+
+struct ExecContext {
+  /// Worker threads for morsel-parallel operator execution (1 = sequential,
+  /// 0 = auto via util::ResolveThreadCount). Results are bit-identical at
+  /// every setting (morsel determinism contract).
+  int data_plane_threads = 1;
+  /// Radix partition bits for the rank-keyed hash joins. Results are
+  /// bit-identical at every setting.
+  int join_partition_bits = kDefaultJoinPartitionBits;
+  /// Target cells per morsel. Fixes reduction boundaries: value-exact
+  /// operators are grain-invariant, floating-point sums may differ in the
+  /// last ULPs between grains (deterministically; see src/exec/README.md).
+  int64_t morsel_grain = kDefaultMorselGrainCells;
+  /// Optional cooperative preemption gate: morsel workers running under
+  /// this context pause at the pickup counter while the gate is held (the
+  /// serving layer holds it for batch-tier work whenever interactive
+  /// queries are pending). Timing-only — never affects results. Not owned;
+  /// must outlive every operator call using the context.
+  const YieldPoint* yield = nullptr;
+
+  /// The context expressed as operator / join options.
+  MorselOptions morsel_options() const;
+  JoinOptions join_options() const;
+};
+
+/// Snapshot of the process-default context (what the no-options operator
+/// overloads run with). Thread-safe.
+ExecContext DefaultExecContext();
+
+/// Replaces the process-default context. Thread-safe against concurrent
+/// DefaultExecContext readers, but configuration-time by convention:
+/// in-flight operators that already snapshotted the default keep their
+/// settings.
+void SetDefaultExecContext(const ExecContext& context);
+
+/// RAII override of the whole default context (tests and benches; the
+/// workload runner installs RunnerConfig::exec_context through this).
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(const ExecContext& context);
+  ~ScopedExecContext();
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  ExecContext saved_;
+};
+
+}  // namespace arraydb::exec
+
+#endif  // ARRAYDB_EXEC_EXEC_CONTEXT_H_

@@ -14,10 +14,9 @@ namespace arraydb::exec {
 
 namespace {
 
-// Configuration-time knob; joins read it per call through
-// DataPlaneJoinOptions. Same non-atomic convention as the data-plane
-// thread knob: concurrent configuration while joins run is a caller bug.
-int g_join_partition_bits = kDefaultJoinPartitionBits;
+// The knob shims (DataPlaneJoinOptions, SetJoinPartitionBits,
+// ScopedJoinPartitionBits) live in exec_context.cc with the default
+// ExecContext they wrap.
 
 // Non-empty chunks in deterministic (lexicographic) order — the join work
 // domain on both sides. Synthetic metadata-only chunks carry no cells.
@@ -89,24 +88,6 @@ inline uint64_t MixKey(uint64_t x) {
 }
 
 }  // namespace
-
-JoinOptions DataPlaneJoinOptions() {
-  JoinOptions options;
-  options.morsel = DataPlaneMorselOptions();
-  options.partition_bits = g_join_partition_bits;
-  return options;
-}
-
-void SetJoinPartitionBits(int bits) { g_join_partition_bits = bits; }
-
-ScopedJoinPartitionBits::ScopedJoinPartitionBits(int bits)
-    : saved_(g_join_partition_bits) {
-  g_join_partition_bits = bits;
-}
-
-ScopedJoinPartitionBits::~ScopedJoinPartitionBits() {
-  g_join_partition_bits = saved_;
-}
 
 // -- FlatKeySet ---------------------------------------------------------------
 

@@ -43,12 +43,17 @@ struct JoinOptions {
   int partition_bits = kDefaultJoinPartitionBits;
 };
 
-/// Process-wide default join options: morsel settings from
-/// DataPlaneMorselOptions(), partition bits from the join knob below.
+/// Snapshot of the process-default context's join options — morsel
+/// settings plus partition bits. Equivalent to
+/// DefaultExecContext().join_options(); see exec/exec_context.h. The
+/// default context is mutex-guarded, so concurrent joins snapshotting it
+/// are race-free; concurrent sessions with different settings pass an
+/// explicit ExecContext instead of mutating the default.
 JoinOptions DataPlaneJoinOptions();
 
-/// Sets the default join partition-bit count (configuration-time, like
-/// SetDataPlaneThreads; not thread-safe against concurrent joins).
+/// Sets the default context's join partition-bit count. Thin shim over
+/// SetDefaultExecContext, kept for single-threaded setup (like
+/// SetDataPlaneThreads).
 void SetJoinPartitionBits(int bits);
 
 /// RAII override of the join partition bits (tests and benches).

@@ -10,29 +10,31 @@
 
 namespace arraydb::exec {
 
-namespace {
+// The knob shims (DataPlaneMorselOptions, SetDataPlaneThreads,
+// ScopedDataPlaneThreads) live in exec_context.cc with the default
+// ExecContext they wrap.
 
-// Configuration-time knob; operators read it per call. Not atomic by
-// design: concurrent configuration while operators run is a caller bug.
-int g_data_plane_threads = 1;
-
-}  // namespace
-
-MorselOptions DataPlaneMorselOptions() {
-  MorselOptions options;
-  options.threads = g_data_plane_threads;
-  return options;
+void YieldPoint::Wait() const {
+  if (depth_.load(std::memory_order_acquire) == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  open_.wait(lock, [this] {
+    return depth_.load(std::memory_order_relaxed) == 0;
+  });
 }
 
-void SetDataPlaneThreads(int threads) { g_data_plane_threads = threads; }
-
-ScopedDataPlaneThreads::ScopedDataPlaneThreads(int threads)
-    : saved_(g_data_plane_threads) {
-  g_data_plane_threads = threads;
+void YieldPoint::Pause() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  depth_.fetch_add(1, std::memory_order_release);
 }
 
-ScopedDataPlaneThreads::~ScopedDataPlaneThreads() {
-  g_data_plane_threads = saved_;
+void YieldPoint::Resume() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int prev = depth_.fetch_sub(1, std::memory_order_release);
+    ARRAYDB_CHECK_GT(prev, 0);
+    if (prev != 1) return;
+  }
+  open_.notify_all();
 }
 
 MorselScheduler::MorselScheduler(MorselOptions options)
@@ -87,11 +89,15 @@ void MorselScheduler::Run(
   // Shared ascending pickup: whichever worker is free takes the next morsel
   // index, so pickup order is chunk-major and load balancing is dynamic.
   std::atomic<size_t> next{0};
-  const auto pump = [&next, &morsels, &fn, count] {
+  const YieldPoint* yield = options_.yield;
+  const auto pump = [&next, &morsels, &fn, count, yield] {
     TELEM_SPAN("exec.morsel.worker");
     const int64_t busy_start_ns = telemetry::MetricsNowNs();
     for (size_t m = next.fetch_add(1, std::memory_order_relaxed); m < count;
          m = next.fetch_add(1, std::memory_order_relaxed)) {
+      // The pickup counter is the preemption boundary: a held yield gate
+      // stalls the worker here, between morsels, never mid-morsel.
+      if (yield) yield->Wait();
       fn(m, morsels[m].first, morsels[m].second);
     }
     if (busy_start_ns > 0) {

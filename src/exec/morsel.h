@@ -26,8 +26,11 @@
 #ifndef ARRAYDB_EXEC_MORSEL_H_
 #define ARRAYDB_EXEC_MORSEL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -35,6 +38,40 @@
 #include "util/thread_pool.h"
 
 namespace arraydb::exec {
+
+/// Default target cells per morsel (see MorselOptions::grain_cells).
+inline constexpr int64_t kDefaultMorselGrainCells = 16384;
+
+/// Cooperative preemption gate at the morsel pickup counter. While the
+/// gate is held (Pause without matching Resume), morsel workers running
+/// under an options set that carries the gate block in Wait() before
+/// picking their next morsel; Resume releases them. The serving layer
+/// holds the gate for batch-tier work whenever interactive queries are
+/// pending, so long scans yield between morsels — never mid-morsel, and
+/// never in a way that changes results (the gate delays pickup, it does
+/// not reorder the decomposition or the combine).
+///
+/// Pause/Resume nest (a depth counter); Wait() is wait-free while the
+/// gate is open (one relaxed atomic load). Safe for any number of
+/// concurrent waiters and holders.
+class YieldPoint {
+ public:
+  /// Blocks while the gate is held; returns immediately when open.
+  void Wait() const;
+  /// Holds the gate (nestable).
+  void Pause() const;
+  /// Releases one Pause; wakes all waiters when the depth reaches zero.
+  void Resume() const;
+  /// Whether the gate is currently held (advisory snapshot).
+  bool paused() const {
+    return depth_.load(std::memory_order_acquire) > 0;
+  }
+
+ private:
+  mutable std::atomic<int> depth_{0};
+  mutable std::mutex mu_;
+  mutable std::condition_variable open_;
+};
 
 struct MorselOptions {
   /// Worker threads for data-plane operators. Positive = exact count,
@@ -47,21 +84,27 @@ struct MorselOptions {
   /// depend on the thread count, but they may depend on the grain (it fixes
   /// the reduction boundaries), so the grain is a stored option, not a
   /// per-call knob.
-  int64_t grain_cells = 16384;
+  int64_t grain_cells = kDefaultMorselGrainCells;
+  /// Optional yield gate consulted at every morsel pickup (including the
+  /// sequential inline path between morsels). Timing-only; not owned, and
+  /// must outlive the operator call. Normally set through
+  /// ExecContext::yield rather than directly.
+  const YieldPoint* yield = nullptr;
 };
 
-/// Process-wide default morsel options used by the no-options operator
-/// overloads. Defaults to sequential (threads = 1); the workload runner and
-/// benches raise it via SetDataPlaneThreads / ScopedDataPlaneThreads.
+/// Snapshot of the process-default context's morsel options — what the
+/// no-options operator overloads run with. Equivalent to
+/// DefaultExecContext().morsel_options(); see exec/exec_context.h.
 MorselOptions DataPlaneMorselOptions();
 
-/// Sets the default data-plane thread count (0 = auto). Not thread-safe
-/// against concurrent operator calls; set it during configuration, as
-/// WorkloadRunner does.
+/// Sets the default context's data-plane thread count (0 = auto). Thin
+/// shim over SetDefaultExecContext, kept for single-threaded setup (as
+/// WorkloadRunner's config install); concurrent sessions that need their
+/// own settings pass an explicit ExecContext instead.
 void SetDataPlaneThreads(int threads);
 
-/// RAII override of the data-plane thread count, restoring the previous
-/// value on destruction (tests and benches).
+/// RAII override of the default context's data-plane thread count,
+/// restoring the previous value on destruction (tests and benches).
 class ScopedDataPlaneThreads {
  public:
   explicit ScopedDataPlaneThreads(int threads);
@@ -122,6 +165,7 @@ class MorselScheduler {
                           static_cast<int64_t>(morsels.size()));
       }
       for (size_t m = 0; m < morsels.size(); ++m) {
+        if (options_.yield) options_.yield->Wait();
         combine(acc, morsel_fn(m, morsels[m].first, morsels[m].second));
       }
       return acc;

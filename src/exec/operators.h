@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "array/array.h"
+#include "exec/exec_context.h"
 #include "exec/join.h"
 #include "exec/morsel.h"
 #include "util/status.h"
@@ -159,6 +160,63 @@ util::StatusOr<double> KnnAverageDistance(
 util::StatusOr<array::Array> Regrid(const array::Array& array,
                                     const std::vector<int64_t>& factors,
                                     int attr);
+
+// -- ExecContext entry points -------------------------------------------------
+//
+// Session-style overloads: one explicit context carries every execution
+// setting (threads, grain, partition bits, yield gate), so concurrent
+// sessions run the same operators with different settings without touching
+// the process default. Results are independent of the context by the
+// determinism contract (modulo the documented grain-boundary float
+// caveat). See "Session contract" in src/exec/README.md.
+
+inline FilterBoxView FilterBoxSpans(const array::Array& array,
+                                    const CellBox& box,
+                                    const ExecContext& context) {
+  return FilterBoxSpans(array, box, context.morsel_options());
+}
+
+inline int64_t FilterBoxCount(const array::Array& array, const CellBox& box,
+                              const ExecContext& context) {
+  return FilterBoxCount(array, box, context.morsel_options());
+}
+
+inline util::StatusOr<double> AttrQuantile(const array::Array& array,
+                                           int attr, double q,
+                                           const ExecContext& context) {
+  return AttrQuantile(array, attr, q, context.morsel_options());
+}
+
+inline std::map<array::Coordinates, double> GroupBySum(
+    const array::Array& array, const std::vector<int64_t>& bin, int attr,
+    const ExecContext& context) {
+  return GroupBySum(array, bin, attr, context.morsel_options());
+}
+
+inline std::vector<std::pair<array::Coordinates, double>> WindowAverageAll(
+    const array::Array& array, int attr, int64_t radius,
+    const ExecContext& context) {
+  return WindowAverageAll(array, attr, radius, context.morsel_options());
+}
+
+inline util::StatusOr<double> KnnAverageDistance(const array::Array& array,
+                                                 int k, int samples,
+                                                 uint64_t seed,
+                                                 const ExecContext& context) {
+  return KnnAverageDistance(array, k, samples, seed,
+                            context.morsel_options());
+}
+
+inline int64_t DimJoinCount(const array::Array& a, const array::Array& b,
+                            const ExecContext& context) {
+  return DimJoinCount(a, b, context.join_options());
+}
+
+inline int64_t AttrJoinCount(const array::Array& array, int attr,
+                             const std::unordered_set<int64_t>& keys,
+                             const ExecContext& context) {
+  return AttrJoinCount(array, attr, keys, context.join_options());
+}
 
 }  // namespace arraydb::exec
 

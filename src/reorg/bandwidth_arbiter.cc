@@ -35,33 +35,60 @@ void BandwidthArbiter::BeginPlan() {
 
 cluster::BandwidthBudget BandwidthArbiter::PlanCycle(
     cluster::BandwidthDemand demand) {
+  return PlanCycleShares(demand).budget;
+}
+
+cluster::BandwidthShares BandwidthArbiter::PlanCycleShares(
+    cluster::BandwidthDemand demand) {
   demand.cycles_until_deadline = cycles_left_;
   const double remaining = std::max(0.0, demand.remaining_migration_gb);
 
-  cluster::BandwidthBudget granted;
+  cluster::BandwidthShares shares =
+      cost_model_->ArbitrateThreeWay(demand, options_.clamps);
   if (options_.fixed_gb.has_value()) {
-    granted.migration_gb = std::min(std::max(0.0, *options_.fixed_gb),
-                                    remaining);
-    granted.jit_gb = remaining / static_cast<double>(cycles_left_);
-  } else {
-    granted = cost_model_->ArbitrateBandwidth(demand, options_.clamps);
+    // The retired constant scheme sizes the grant without the cost model;
+    // the three-way reservations above still describe the cycle's window.
+    shares.budget = cluster::BandwidthBudget{};
+    shares.budget.migration_gb =
+        std::min(std::max(0.0, *options_.fixed_gb), remaining);
+    shares.budget.jit_gb = remaining / static_cast<double>(cycles_left_);
   }
   if (cycles_left_ <= 1 && remaining > 0.0) {
     // Deadline cycle: the next staircase step is about to land, so the
     // remainder goes through regardless of the clamps.
-    granted.migration_gb = remaining;
-    granted.deadline_binding = true;
+    shares.budget.migration_gb = remaining;
+    shares.budget.deadline_binding = true;
   }
+
+  // Re-derive the query-side view from the final grant (the fixed path
+  // and the deadline force-grant both change it after ArbitrateThreeWay).
+  const cluster::CostParams& params = cost_model_->params();
+  const double rate = params.net_minutes_per_gb + params.io_minutes_per_gb;
+  shares.migration_minutes = shares.budget.migration_gb * rate;
+  const double query_minutes = std::max(0.0, demand.projected_query_minutes);
+  if (query_minutes > 0.0) {
+    const double free_minutes =
+        std::max(0.0, shares.window_minutes -
+                          options_.clamps.ingest_reserve_fraction *
+                              shares.budget.ingest_reserved_minutes -
+                          shares.query_reserved_minutes);
+    shares.query_dilation =
+        1.0 +
+        std::max(0.0, shares.migration_minutes - free_minutes) / query_minutes;
+  } else {
+    shares.query_dilation = 1.0;
+  }
+
   TELEM_COUNTER_ADD("reorg.arbiter.grants", 1);
   TELEM_COUNTER_ADD("reorg.arbiter.granted_bytes",
-                    std::llround(util::GbToBytes(granted.migration_gb)));
-  if (granted.deadline_binding) {
+                    std::llround(util::GbToBytes(shares.budget.migration_gb)));
+  if (shares.budget.deadline_binding) {
     TELEM_COUNTER_ADD("reorg.arbiter.deadline_force_grants", 1);
   }
   TELEM_GAUGE_SET("reorg.arbiter.cycles_left", cycles_left_);
   cycles_left_ = std::max(1, cycles_left_ - 1);
-  budget_trajectory_.push_back(granted.migration_gb);
-  return granted;
+  budget_trajectory_.push_back(shares.budget.migration_gb);
+  return shares;
 }
 
 }  // namespace arraydb::reorg

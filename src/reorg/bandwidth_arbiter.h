@@ -88,7 +88,17 @@ class BandwidthArbiter {
   /// Computes this cycle's migration grant and advances the countdown.
   /// `demand.cycles_until_deadline` is overwritten with the arbiter's own
   /// countdown. On the deadline cycle the remainder is granted in full.
+  /// Equivalent to PlanCycleShares(demand).budget.
   cluster::BandwidthBudget PlanCycle(cluster::BandwidthDemand demand);
+
+  /// The three-way form: same grant, countdown, and trajectory as
+  /// PlanCycle, but returns the full queries/ingest/migration split —
+  /// including the query tier's dilation, recomputed after the deadline
+  /// force-grant so a forced drain's intrusion into query time is visible
+  /// to the serving layer. Legacy callers that pass
+  /// demand.projected_query_minutes = 0 get dilation 1.0 and bit-identical
+  /// budgets.
+  cluster::BandwidthShares PlanCycleShares(cluster::BandwidthDemand demand);
 
   /// Cycles left until the just-in-time deadline (1 = this cycle must
   /// finish the plan).

@@ -16,6 +16,45 @@
 
 namespace arraydb::workload {
 
+// Value fields copy; the deprecated flat-field aliases rebind to the
+// copy's own sub-configs through their default member initializers (a
+// defaulted copy would leave them pointing at the source).
+RunnerConfig::RunnerConfig(const RunnerConfig& other)
+    : partitioner(other.partitioner),
+      policy(other.policy),
+      initial_nodes(other.initial_nodes),
+      nodes_per_scaleout(other.nodes_per_scaleout),
+      max_nodes(other.max_nodes),
+      staircase_samples(other.staircase_samples),
+      staircase_plan_ahead(other.staircase_plan_ahead),
+      ingest(other.ingest),
+      exec_context(other.exec_context),
+      reorg(other.reorg),
+      serving(other.serving),
+      cost_params(other.cost_params),
+      engine_params(other.engine_params),
+      run_queries(other.run_queries),
+      trace_path(other.trace_path) {}
+
+RunnerConfig& RunnerConfig::operator=(const RunnerConfig& other) {
+  partitioner = other.partitioner;
+  policy = other.policy;
+  initial_nodes = other.initial_nodes;
+  nodes_per_scaleout = other.nodes_per_scaleout;
+  max_nodes = other.max_nodes;
+  staircase_samples = other.staircase_samples;
+  staircase_plan_ahead = other.staircase_plan_ahead;
+  ingest = other.ingest;
+  exec_context = other.exec_context;
+  reorg = other.reorg;
+  serving = other.serving;
+  cost_params = other.cost_params;
+  engine_params = other.engine_params;
+  run_queries = other.run_queries;
+  trace_path = other.trace_path;
+  return *this;
+}
+
 std::vector<double> RunResult::MovedGbTrajectory() const {
   std::vector<double> out;
   out.reserve(cycles.size());
@@ -69,6 +108,128 @@ void RecordCycleTelemetry(const CycleMetrics& m, bool scaled_out) {
                          MinutesToMs(m.elapsed_minutes));
 }
 
+// Raw latencies and admission counts pooled across every serving cycle
+// (the run-level percentiles come from the pooled population, not from
+// averaging per-cycle percentiles).
+struct ServingPools {
+  std::vector<double> interactive_latencies;
+  std::vector<double> batch_latencies;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+};
+
+// Plays one cycle's mixed heavy-traffic scenario through the serving
+// layer: every batch session replays the cycle's full benchmark suite
+// from t = 0 while the interactive sessions fire deterministic point
+// queries spread across the expected service window. All requests are
+// priced by the same QueryEngine against the same placement view as the
+// cycle's sequential pricing, so the scenario is exactly reproducible.
+ServingCycleMetrics RunServingCycle(
+    const ServingConfig& cfg, const exec::QueryEngine& engine,
+    const cluster::PlacementView& view, const array::ArraySchema& schema,
+    const std::vector<std::pair<std::string, exec::QueryCost>>& suite,
+    double dilation, int cycle, ServingPools* pools) {
+  serve::ServerOptions options;
+  options.workers = cfg.workers;
+  options.slice_minutes = cfg.slice_minutes;
+  options.service_dilation = dilation;
+  options.admission = cfg.admission;
+  options.policy = cfg.policy;
+  serve::SessionServer server(options);
+
+  const int num_interactive = std::max(1, cfg.interactive_sessions);
+  const int num_batch = std::max(1, cfg.batch_sessions);
+  std::vector<int> interactive_sessions;
+  std::vector<int> batch_sessions;
+  for (int s = 0; s < num_interactive; ++s) {
+    interactive_sessions.push_back(
+        server.OpenSession(serve::Tier::kInteractive));
+  }
+  for (int s = 0; s < num_batch; ++s) {
+    batch_sessions.push_back(server.OpenSession(serve::Tier::kBatch));
+  }
+
+  // Batch tier: the sustained heavy load, submitted in arrival order
+  // (everything at t = 0; the virtual clock never rewinds).
+  double batch_minutes = 0.0;
+  for (const auto& [name, cost] : suite) batch_minutes += cost.minutes;
+  for (int s = 0; s < num_batch; ++s) {
+    for (const auto& [name, cost] : suite) {
+      serve::Request request;
+      request.name = name;
+      request.cost_minutes = cost.minutes;
+      request.scan_gb = cost.scanned_gb;
+      request.arrival_minutes = 0.0;
+      server.Submit(batch_sessions[static_cast<size_t>(s)],
+                    std::move(request));
+    }
+  }
+
+  // Interactive tier: single-chunk point selections at deterministic grid
+  // positions (a splitmix-style hash of cycle and index), arriving spread
+  // across the window the batch load is expected to occupy.
+  const double window =
+      std::max(1e-3, batch_minutes * std::max(1.0, dilation) *
+                         static_cast<double>(num_batch) /
+                         static_cast<double>(std::max(1, cfg.workers)));
+  const int total_points =
+      num_interactive * std::max(0, cfg.interactive_per_session);
+  const auto extents = schema.ChunkGridExtents();
+  for (int i = 0; i < total_points; ++i) {
+    exec::QuerySpec spec;
+    spec.name = "pt-" + std::to_string(cycle) + "-" + std::to_string(i);
+    spec.kind = exec::QueryKind::kFilter;
+    array::Coordinates at(extents.size());
+    uint64_t h = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(i + 1) +
+                 0xbf58476d1ce4e5b9ull * static_cast<uint64_t>(cycle + 1);
+    for (size_t d = 0; d < extents.size(); ++d) {
+      h ^= h >> 29;
+      h *= 0x94d049bb133111ebull;
+      at[d] = extents[d] > 0
+                  ? static_cast<int64_t>(h % static_cast<uint64_t>(extents[d]))
+                  : 0;
+    }
+    spec.region.lo = at;
+    spec.region.hi = at;
+    const auto cost = engine.Simulate(spec, view, schema);
+    serve::Request request;
+    request.name = spec.name;
+    request.cost_minutes = cost.minutes;
+    request.scan_gb = cost.scanned_gb;
+    request.arrival_minutes = window * static_cast<double>(i + 1) /
+                              static_cast<double>(total_points + 1);
+    server.Submit(
+        interactive_sessions[static_cast<size_t>(i % num_interactive)],
+        std::move(request));
+  }
+
+  const serve::ServeResult served = server.Finish();
+  const serve::TierStats& interactive =
+      served.tier(serve::Tier::kInteractive);
+  const serve::TierStats& batch = served.tier(serve::Tier::kBatch);
+  ServingCycleMetrics metrics;
+  metrics.ran = true;
+  metrics.p50_interactive_ms = interactive.latency.p50_ms;
+  metrics.p99_interactive_ms = interactive.latency.p99_ms;
+  metrics.p50_batch_ms = batch.latency.p50_ms;
+  metrics.p99_batch_ms = batch.latency.p99_ms;
+  metrics.interactive_completed = interactive.latency.count;
+  metrics.batch_completed = batch.latency.count;
+  metrics.admitted = interactive.admitted + batch.admitted;
+  metrics.rejected = served.total_rejected();
+  metrics.dilation = dilation;
+  metrics.makespan_minutes = served.makespan_minutes;
+
+  pools->admitted += metrics.admitted;
+  pools->rejected += metrics.rejected;
+  for (const serve::Completed& rec : served.completed) {
+    (rec.tier == serve::Tier::kInteractive ? pools->interactive_latencies
+                                           : pools->batch_latencies)
+        .push_back(rec.latency_minutes);
+  }
+  return metrics;
+}
+
 }  // namespace
 
 RunResult WorkloadRunner::Run(const Workload& workload) const {
@@ -84,13 +245,13 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
                             config_.initial_nodes, capacity,
                             workload.growth_dim()),
       config_.initial_nodes, capacity, config_.cost_params);
-  const int ingest_threads = util::ResolveThreadCount(config_.ingest_threads);
+  const int ingest_threads = util::ResolveThreadCount(config_.ingest.threads);
   engine.set_ingest_threads(ingest_threads);
-  // Data-plane knob: any real operator execution embedded in this run (the
-  // examples and benches that query the arrays they feed the runner) picks
-  // up the configured morsel parallelism; restored on return.
-  const exec::ScopedDataPlaneThreads data_plane(config_.data_plane_threads);
-  const exec::ScopedJoinPartitionBits join_bits(config_.join_partition_bits);
+  // Execution context: any real operator execution embedded in this run
+  // (the examples and benches that query the arrays they feed the runner)
+  // picks up the configured morsel parallelism and join partitioning
+  // through the process default; restored on return.
+  const exec::ScopedExecContext exec_scope(config_.exec_context);
   exec::QueryEngine query_engine(config_.engine_params);
 
   core::StaircaseConfig stair_cfg;
@@ -100,10 +261,10 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
   core::LeadingStaircase staircase(stair_cfg);
 
   const bool paced =
-      config_.budget_policy != MigrationBudgetPolicy::kFixedDrain;
+      config_.reorg.budget_policy != MigrationBudgetPolicy::kFixedDrain;
   // Paced budgets spread a plan across cycles; that only makes sense when
   // queries can run mid-reorg through the dual-residency view.
-  ARRAYDB_CHECK(!paced || config_.reorg_mode == ReorgMode::kOverlapped);
+  ARRAYDB_CHECK(!paced || config_.reorg.mode == ReorgMode::kOverlapped);
 
   RunResult result;
   // Paced-migration state living across cycles: the engine (its routing
@@ -117,7 +278,9 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
   std::optional<reorg::BandwidthArbiter> arbiter;
   double cycle_budget_gb = 0.0;
   double plan_minutes_charged = 0.0;
-  reorg::OverlapWindowEstimator overlap_window(config_.overlap_window_alpha);
+  reorg::OverlapWindowEstimator overlap_window(
+      config_.reorg.overlap_window_alpha);
+  ServingPools serving_pools;
   // Summary totals already attributed to a cycle (charge_migration's
   // snapshot; reset when a plan begins).
   struct {
@@ -204,7 +367,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     }
 
     if (to_add > 0) {
-      if (config_.reorg_mode == ReorgMode::kBlocking) {
+      if (config_.reorg.mode == ReorgMode::kBlocking) {
         const auto reorg = engine.ScaleOut(to_add);
         m.reorg_minutes = reorg.minutes;
         m.moved_gb = reorg.moved_gb;
@@ -213,7 +376,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       } else {
         const auto prep = engine.PrepareScaleOut(to_add);
         reorg::ReorgOptions opts;
-        opts.increment_gb = config_.reorg_increment_gb;
+        opts.increment_gb = config_.reorg.increment_gb;
         opts.copy_threads = ingest_threads;
         if (paced) {
           // Each increment is sized by the cycle grant the budget policy
@@ -231,14 +394,15 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
         charged = {};
         if (paced) {
           reorg::ArbiterOptions arbiter_opts;
-          arbiter_opts.clamps = config_.arbitration;
+          arbiter_opts.clamps = config_.reorg.arbitration;
           arbiter_opts.plan_ahead_cycles = config_.staircase_plan_ahead;
-          if (config_.budget_policy == MigrationBudgetPolicy::kFixedPaced) {
-            arbiter_opts.fixed_gb = config_.reorg_increment_gb;
+          if (config_.reorg.budget_policy ==
+              MigrationBudgetPolicy::kFixedPaced) {
+            arbiter_opts.fixed_gb = config_.reorg.increment_gb;
           }
           arbiter.emplace(&engine.cost_model(), arbiter_opts);
           arbiter->BeginPlan();
-        } else if (config_.reorg_mode == ReorgMode::kIncremental) {
+        } else if (config_.reorg.mode == ReorgMode::kIncremental) {
           // Drain before the insert: same serialized schedule as blocking,
           // but sliced, validated, and tracked per increment.
           ARRAYDB_CHECK(background->Drain().ok());
@@ -264,7 +428,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
           m.reorg_increments = summary.increments;
           m.reorg_over_budget_increments = summary.over_budget_increments;
           engine.RecordReorgMinutes(summary.work_minutes);
-          if (config_.reorg_mode == ReorgMode::kIncremental) {
+          if (config_.reorg.mode == ReorgMode::kIncremental) {
             background.reset();
           }
         }
@@ -276,6 +440,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     // exactly like the drain path. The workload's last cycle is always a
     // deadline: the plan quiesces with the run, so no migration work (or
     // its charge) is lost off the end of the experiment.
+    double serving_dilation = 1.0;
     if (paced && background.has_value() && background->pending_chunks() > 0) {
       const auto& s = background->summary();
       cluster::BandwidthDemand demand;
@@ -283,11 +448,18 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       demand.projected_ingest_gb = batch_gb;
       demand.overlap_window_minutes = overlap_window.estimate();
       demand.num_nodes = engine.cluster().num_nodes();
+      if (config_.serving.enabled) {
+        // Three-way arbitration: reserve query service capacity in the
+        // window, and charge any migration intrusion beyond the remaining
+        // free time to the serving layer as a service-time dilation.
+        demand.projected_query_minutes = overlap_window.estimate();
+      }
       if (cycle + 1 >= workload.num_cycles()) arbiter->ForceDeadline();
       const bool deadline = arbiter->cycles_left() <= 1;
-      const auto granted = arbiter->PlanCycle(demand);
-      cycle_budget_gb = granted.migration_gb;
-      m.migration_budget_gb += granted.migration_gb;
+      const auto shares = arbiter->PlanCycleShares(demand);
+      cycle_budget_gb = shares.budget.migration_gb;
+      m.migration_budget_gb += shares.budget.migration_gb;
+      serving_dilation = shares.query_dilation;
       std::thread migrator([&background, deadline] {
         if (deadline) {
           ARRAYDB_CHECK(background->StepAll().ok());
@@ -326,15 +498,29 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
           background.has_value()
               ? static_cast<const cluster::PlacementView&>(dual_view)
               : engine.cluster();
+      std::vector<std::pair<std::string, exec::QueryCost>> suite;
       for (const auto& q : workload.SpjQueries(cycle)) {
         const auto cost = query_engine.Simulate(q, view, workload.schema());
         m.spj_minutes += cost.minutes;
         m.query_minutes.emplace_back(q.name, cost.minutes);
+        if (config_.serving.enabled) suite.emplace_back(q.name, cost);
       }
       for (const auto& q : workload.ScienceQueries(cycle)) {
         const auto cost = query_engine.Simulate(q, view, workload.schema());
         m.science_minutes += cost.minutes;
         m.query_minutes.emplace_back(q.name, cost.minutes);
+        if (config_.serving.enabled) suite.emplace_back(q.name, cost);
+      }
+      // Serving scenario: replay the cycle's suite as concurrent batch
+      // sessions plus an interactive point-query stream through the
+      // SessionServer. Measurement-only with respect to the legacy cycle
+      // metrics — the one coupling is the three-way arbiter's dilation
+      // computed above, which stretches virtual service times.
+      if (config_.serving.enabled) {
+        m.serving =
+            RunServingCycle(config_.serving, query_engine, view,
+                            workload.schema(), suite, serving_dilation, cycle,
+                            &serving_pools);
       }
     }
 
@@ -356,7 +542,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     // paced across cycles. What the query window does not hide lands on the
     // ingest path: the stall metric.
     const double benchmark_minutes = m.spj_minutes + m.science_minutes;
-    if (config_.reorg_mode == ReorgMode::kOverlapped) {
+    if (config_.reorg.mode == ReorgMode::kOverlapped) {
       m.overlap_saved_minutes = std::min(m.reorg_minutes, benchmark_minutes);
     }
     m.ingest_stall_minutes = m.reorg_minutes - m.overlap_saved_minutes;
@@ -388,6 +574,14 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
   result.final_nodes = result.cycles.empty()
                            ? config_.initial_nodes
                            : result.cycles.back().nodes_after;
+  if (config_.serving.enabled) {
+    result.serving_interactive =
+        serve::Summarize(std::move(serving_pools.interactive_latencies));
+    result.serving_batch =
+        serve::Summarize(std::move(serving_pools.batch_latencies));
+    result.serving_admitted = serving_pools.admitted;
+    result.serving_rejected = serving_pools.rejected;
+  }
   if (tracing.has_value()) {
     tracing.reset();  // Close the capture window before serializing.
     telemetry::WriteTrace(config_.trace_path);

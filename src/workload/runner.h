@@ -24,6 +24,7 @@
 #ifndef ARRAYDB_WORKLOAD_RUNNER_H_
 #define ARRAYDB_WORKLOAD_RUNNER_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,9 +33,10 @@
 #include "core/partitioner_factory.h"
 #include "core/provisioner.h"
 #include "exec/engine.h"
-#include "exec/join.h"
+#include "exec/exec_context.h"
 #include "reorg/bandwidth_arbiter.h"
 #include "reorg/reorg_engine.h"
+#include "serve/serve.h"
 #include "workload/workload.h"
 
 namespace arraydb::workload {
@@ -82,6 +84,61 @@ enum class MigrationBudgetPolicy {
   kArbitrated,
 };
 
+/// Ingest-side settings.
+struct IngestConfig {
+  /// Worker threads for the chunk-parallel ingest/placement fast path
+  /// (per-chunk placement state is precomputed in parallel and merged in
+  /// order; all placement decisions remain sequential and deterministic).
+  /// 1 = fully sequential; 0 = auto (hardware concurrency). The 0-means-auto
+  /// convention is interpreted in exactly one place,
+  /// util::ResolveThreadCount, which every consumer calls.
+  int threads = 1;
+};
+
+/// Reorganization settings.
+struct ReorgConfig {
+  /// Reorganization execution mode; metrics and query results are
+  /// deterministic for every mode, thread count, and increment size.
+  ReorgMode mode = ReorgMode::kBlocking;
+  /// Per-cycle migration budget derivation for the incremental modes. The
+  /// paced policies require mode == kOverlapped.
+  MigrationBudgetPolicy budget_policy = MigrationBudgetPolicy::kFixedDrain;
+  /// Byte budget per migration increment (GB) for the fixed budget
+  /// policies. Defaults to the same constant as ReorgOptions.increment_gb
+  /// (reorg::kDefaultIncrementGb) and is forwarded explicitly, so the two
+  /// cannot diverge silently.
+  double increment_gb = reorg::kDefaultIncrementGb;
+  /// EWMA smoothing factor for the arbiter's query-overlap window estimate
+  /// (reorg::OverlapWindowEstimator). 1.0 reproduces the legacy
+  /// previous-cycle estimator bit for bit.
+  double overlap_window_alpha = reorg::OverlapWindowEstimator::kDefaultAlpha;
+  /// Floor/ceiling clamps for MigrationBudgetPolicy::kArbitrated (and the
+  /// serving scenario's three-way arbitration).
+  cluster::ArbitrationClamps arbitration;
+};
+
+/// Serving-layer scenario settings: when enabled, every query cycle also
+/// plays a mixed heavy-traffic scenario through serve::SessionServer — the
+/// cycle's benchmark suite submitted by N batch sessions while interactive
+/// sessions fire point queries at it — and records per-tier latency
+/// percentiles. Measurement-only with respect to the legacy metrics:
+/// spj/science/elapsed minutes are untouched; the one coupling runs the
+/// other way (under kArbitrated the serving demand enters the three-way
+/// arbitration, and migration intrusion dilates serving latencies).
+struct ServingConfig {
+  bool enabled = false;
+  /// Concurrent sessions per tier.
+  int interactive_sessions = 4;
+  int batch_sessions = 2;
+  /// Interactive point queries per session per cycle.
+  int interactive_per_session = 8;
+  /// Virtual workers and slice length (serve::ServerOptions).
+  int workers = 4;
+  double slice_minutes = 0.05;
+  serve::AdmissionLimits admission;
+  serve::SchedulerPolicy policy;
+};
+
 struct RunnerConfig {
   core::PartitionerKind partitioner =
       core::PartitionerKind::kConsistentHash;
@@ -91,42 +148,15 @@ struct RunnerConfig {
   int max_nodes = 8;           // Capacity-trigger testbed size.
   int staircase_samples = 4;   // s, for the staircase policy.
   int staircase_plan_ahead = 3;  // p, for the staircase policy.
-  /// Worker threads for the chunk-parallel ingest/placement fast path
-  /// (per-chunk placement state is precomputed in parallel and merged in
-  /// order; all placement decisions remain sequential and deterministic).
-  /// 1 = fully sequential; 0 = auto (hardware concurrency). The 0-means-auto
-  /// convention is interpreted in exactly one place,
-  /// util::ResolveThreadCount, which every consumer calls.
-  int ingest_threads = 1;
-  /// Worker threads for the real data-plane operators (the morsel-parallel
-  /// exec:: scan/aggregate operators; see src/exec/README.md). Applied
-  /// process-wide for the duration of Run() so operator work embedded in a
-  /// workload run — examples, benches — inherits it. Same 0-means-auto
-  /// convention as ingest_threads; operator results are bit-identical at
-  /// every setting (morsel determinism contract).
-  int data_plane_threads = 1;
-  /// Radix partition bits for the rank-keyed hash joins (exec::DimJoinCount
-  /// builds 2^bits per-partition key tables on the high Hilbert-rank bits).
-  /// Applied process-wide for the duration of Run(), like
-  /// data_plane_threads; join results are bit-identical at every setting.
-  int join_partition_bits = exec::kDefaultJoinPartitionBits;
-  /// EWMA smoothing factor for the arbiter's query-overlap window estimate
-  /// (reorg::OverlapWindowEstimator). 1.0 reproduces the legacy
-  /// previous-cycle estimator bit for bit.
-  double overlap_window_alpha = reorg::OverlapWindowEstimator::kDefaultAlpha;
-  /// Reorganization execution mode; metrics and query results are
-  /// deterministic for every mode, thread count, and increment size.
-  ReorgMode reorg_mode = ReorgMode::kBlocking;
-  /// Per-cycle migration budget derivation for the incremental modes. The
-  /// paced policies require reorg_mode == kOverlapped.
-  MigrationBudgetPolicy budget_policy = MigrationBudgetPolicy::kFixedDrain;
-  /// Byte budget per migration increment (GB) for the fixed budget
-  /// policies. Defaults to the same constant as ReorgOptions.increment_gb
-  /// (reorg::kDefaultIncrementGb) and is forwarded explicitly, so the two
-  /// cannot diverge silently.
-  double reorg_increment_gb = reorg::kDefaultIncrementGb;
-  /// Floor/ceiling clamps for MigrationBudgetPolicy::kArbitrated.
-  cluster::ArbitrationClamps arbitration;
+  IngestConfig ingest;
+  /// Data-plane execution settings (operator threads, join partition bits,
+  /// morsel grain), installed as the process-default ExecContext for the
+  /// duration of Run() so operator work embedded in a workload run —
+  /// examples, benches — inherits it. Results are bit-identical at every
+  /// setting (morsel + join determinism contracts).
+  exec::ExecContext exec_context;
+  ReorgConfig reorg;
+  ServingConfig serving;
   cluster::CostParams cost_params;
   exec::EngineParams engine_params;
   bool run_queries = true;
@@ -136,6 +166,46 @@ struct RunnerConfig {
   /// with or without tracing. The ARRAYDB_TRACE environment variable offers
   /// the same capture process-wide without touching the config.
   std::string trace_path;
+
+  // -- Deprecated flat-field aliases (kept for one release) -------------------
+  //
+  // The flat 15-field config became the nested sub-configs above; these
+  // references keep the old names compiling. They alias the nested fields
+  // (reads and writes see the same storage) and will be removed next
+  // release — new code addresses the sub-configs directly.
+  int& ingest_threads = ingest.threads;
+  int& data_plane_threads = exec_context.data_plane_threads;
+  int& join_partition_bits = exec_context.join_partition_bits;
+  ReorgMode& reorg_mode = reorg.mode;
+  MigrationBudgetPolicy& budget_policy = reorg.budget_policy;
+  double& reorg_increment_gb = reorg.increment_gb;
+  double& overlap_window_alpha = reorg.overlap_window_alpha;
+  cluster::ArbitrationClamps& arbitration = reorg.arbitration;
+
+  // The reference aliases make the defaulted copy operations wrong (a
+  // copy's references would bind to the *source's* sub-configs), so
+  // copying is user-provided: value fields copy, aliases rebind to the
+  // copy's own sub-configs via their default member initializers.
+  RunnerConfig() = default;
+  RunnerConfig(const RunnerConfig& other);
+  RunnerConfig& operator=(const RunnerConfig& other);
+};
+
+/// One cycle's serving-scenario outcome (latencies in simulated ms).
+struct ServingCycleMetrics {
+  bool ran = false;
+  double p50_interactive_ms = 0.0;
+  double p99_interactive_ms = 0.0;
+  double p50_batch_ms = 0.0;
+  double p99_batch_ms = 0.0;
+  int64_t interactive_completed = 0;
+  int64_t batch_completed = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  /// The three-way arbiter's query dilation this cycle (1.0 outside a
+  /// paced migration window).
+  double dilation = 1.0;
+  double makespan_minutes = 0.0;
 };
 
 /// Everything measured in one workload cycle.
@@ -178,6 +248,9 @@ struct CycleMetrics {
   double elapsed_minutes = 0.0;
   /// Per-query latencies (name, minutes) for figure-level series.
   std::vector<std::pair<std::string, double>> query_minutes;
+  /// Serving-layer stats for this cycle (ran == false unless
+  /// ServingConfig::enabled).
+  ServingCycleMetrics serving;
 };
 
 struct RunResult {
@@ -199,6 +272,12 @@ struct RunResult {
   /// Sum of per-cycle elapsed times; equals total_workload_minutes() outside
   /// kOverlapped, strictly below it when queries overlapped a migration.
   double total_elapsed_minutes = 0.0;
+  /// Pooled serving-layer latency summaries across all cycles (counts are
+  /// zero unless ServingConfig::enabled).
+  serve::LatencySummary serving_interactive;
+  serve::LatencySummary serving_batch;
+  int64_t serving_admitted = 0;
+  int64_t serving_rejected = 0;
 
   double total_benchmark_minutes() const {
     return total_spj_minutes + total_science_minutes;

@@ -311,8 +311,8 @@ RunnerConfig HeavyStaircaseConfig(MigrationBudgetPolicy policy) {
   cfg.policy = ScaleOutPolicy::kStaircase;
   cfg.initial_nodes = 2;
   cfg.max_nodes = 64;
-  cfg.reorg_mode = ReorgMode::kOverlapped;
-  cfg.budget_policy = policy;
+  cfg.reorg.mode = ReorgMode::kOverlapped;
+  cfg.reorg.budget_policy = policy;
   cfg.cost_params.net_minutes_per_gb = 1.0;
   return cfg;
 }
@@ -450,12 +450,12 @@ TEST(ArbitratedRunnerTest, PlanStartedOnTheFinalCycleDrainsWithTheRun) {
   cfg.initial_nodes = 2;
   cfg.nodes_per_scaleout = 2;
   cfg.max_nodes = 8;
-  cfg.reorg_mode = ReorgMode::kOverlapped;
+  cfg.reorg.mode = ReorgMode::kOverlapped;
   cfg.run_queries = false;  // Window = 0: pacing would stretch past the end.
 
-  cfg.budget_policy = MigrationBudgetPolicy::kFixedDrain;
+  cfg.reorg.budget_policy = MigrationBudgetPolicy::kFixedDrain;
   const auto drained = WorkloadRunner(cfg).Run(workload);
-  cfg.budget_policy = MigrationBudgetPolicy::kArbitrated;
+  cfg.reorg.budget_policy = MigrationBudgetPolicy::kArbitrated;
   const auto arbitrated = WorkloadRunner(cfg).Run(workload);
 
   // The scale-out happened on the last cycle in both runs...
@@ -476,7 +476,7 @@ TEST(ArbitratedRunnerTest, DeterministicAcrossThreadCounts) {
   for (const int threads : {1, 4, 0}) {
     RunnerConfig cfg =
         HeavyStaircaseConfig(MigrationBudgetPolicy::kArbitrated);
-    cfg.ingest_threads = threads;
+    cfg.ingest.threads = threads;
     results.push_back(WorkloadRunner(cfg).Run(ais));
   }
   for (size_t i = 1; i < results.size(); ++i) {

@@ -1,0 +1,229 @@
+// ExecContext suite: the explicit execution-settings object that retired
+// the process-global data-plane knobs. Covers the default-context
+// snapshot/restore machinery, the legacy shims (SetDataPlaneThreads /
+// SetJoinPartitionBits and their Scoped forms are views over the default
+// context), operator entry-point equivalence, the nested RunnerConfig
+// aliases, and — the reason join.h's old "not thread-safe against
+// concurrent joins" caveat is gone — concurrent joins running under
+// different contexts with results bit-identical to sequential execution.
+// Runs under the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "array/array.h"
+#include "exec/exec_context.h"
+#include "exec/join.h"
+#include "exec/morsel.h"
+#include "exec/operators.h"
+#include "workload/runner.h"
+#include "workload/sample_data.h"
+
+namespace arraydb::exec {
+namespace {
+
+TEST(ExecContextTest, DefaultsMatchTheKnobDefaults) {
+  const ExecContext context;
+  EXPECT_EQ(context.data_plane_threads, 1);
+  EXPECT_EQ(context.join_partition_bits, kDefaultJoinPartitionBits);
+  EXPECT_EQ(context.morsel_grain, kDefaultMorselGrainCells);
+  EXPECT_EQ(context.yield, nullptr);
+
+  const MorselOptions morsel = context.morsel_options();
+  EXPECT_EQ(morsel.threads, 1);
+  EXPECT_EQ(morsel.grain_cells, kDefaultMorselGrainCells);
+  EXPECT_EQ(morsel.yield, nullptr);
+  const JoinOptions join = context.join_options();
+  EXPECT_EQ(join.partition_bits, kDefaultJoinPartitionBits);
+  EXPECT_EQ(join.morsel.threads, 1);
+}
+
+TEST(ExecContextTest, MorselAndJoinOptionsCarryEverySetting) {
+  YieldPoint gate;
+  ExecContext context;
+  context.data_plane_threads = 3;
+  context.join_partition_bits = 5;
+  context.morsel_grain = 256;
+  context.yield = &gate;
+  const MorselOptions morsel = context.morsel_options();
+  EXPECT_EQ(morsel.threads, 3);
+  EXPECT_EQ(morsel.grain_cells, 256);
+  EXPECT_EQ(morsel.yield, &gate);
+  const JoinOptions join = context.join_options();
+  EXPECT_EQ(join.partition_bits, 5);
+  EXPECT_EQ(join.morsel.threads, 3);
+  EXPECT_EQ(join.morsel.grain_cells, 256);
+  EXPECT_EQ(join.morsel.yield, &gate);
+}
+
+TEST(ExecContextTest, ScopedExecContextInstallsAndRestores) {
+  const ExecContext before = DefaultExecContext();
+  {
+    ExecContext override_context;
+    override_context.data_plane_threads = 7;
+    override_context.join_partition_bits = 2;
+    override_context.morsel_grain = 512;
+    const ScopedExecContext scope(override_context);
+    EXPECT_EQ(DefaultExecContext().data_plane_threads, 7);
+    EXPECT_EQ(DefaultExecContext().join_partition_bits, 2);
+    EXPECT_EQ(DefaultExecContext().morsel_grain, 512);
+    // The legacy accessors are views over the same default.
+    EXPECT_EQ(DataPlaneMorselOptions().threads, 7);
+    EXPECT_EQ(DataPlaneJoinOptions().partition_bits, 2);
+  }
+  EXPECT_EQ(DefaultExecContext().data_plane_threads,
+            before.data_plane_threads);
+  EXPECT_EQ(DefaultExecContext().join_partition_bits,
+            before.join_partition_bits);
+  EXPECT_EQ(DefaultExecContext().morsel_grain, before.morsel_grain);
+}
+
+TEST(ExecContextTest, LegacyShimsMutateOneFieldEach) {
+  const ExecContext before = DefaultExecContext();
+  {
+    const ScopedDataPlaneThreads threads(4);
+    EXPECT_EQ(DefaultExecContext().data_plane_threads, 4);
+    // Orthogonal fields are untouched.
+    EXPECT_EQ(DefaultExecContext().join_partition_bits,
+              before.join_partition_bits);
+    {
+      const ScopedJoinPartitionBits bits(3);
+      EXPECT_EQ(DefaultExecContext().join_partition_bits, 3);
+      EXPECT_EQ(DefaultExecContext().data_plane_threads, 4);
+    }
+    EXPECT_EQ(DefaultExecContext().join_partition_bits,
+              before.join_partition_bits);
+  }
+  EXPECT_EQ(DefaultExecContext().data_plane_threads,
+            before.data_plane_threads);
+}
+
+class ExecContextOperatorTest : public ::testing::Test {
+ protected:
+  ExecContextOperatorTest()
+      : modis_(workload::MakeSmallModisBand(/*days=*/4, /*seed=*/2014)),
+        other_(workload::MakeSmallModisBand(/*days=*/3, /*seed=*/77)) {}
+
+  CellBox FullBox() const {
+    CellBox box;
+    for (const array::DimensionDesc& dim : modis_.schema().dims()) {
+      box.lo.push_back(dim.lo);
+      box.hi.push_back(dim.lo + dim.Extent() - 1);
+    }
+    return box;
+  }
+
+  static std::unordered_set<int64_t> Keys() {
+    std::unordered_set<int64_t> keys;
+    for (int64_t k = 0; k < 64; ++k) keys.insert(k * 3);
+    return keys;
+  }
+
+  array::Array modis_;
+  array::Array other_;
+};
+
+TEST_F(ExecContextOperatorTest, ContextOverloadsMatchTheDefaultPath) {
+  const CellBox box = FullBox();
+  const int64_t want_count = FilterBoxCount(modis_, box);
+  const int64_t want_dim = DimJoinCount(modis_, other_);
+  const int64_t want_attr = AttrJoinCount(modis_, 0, Keys());
+  ASSERT_GT(want_count, 0);
+  ASSERT_GT(want_dim, 0);
+  for (const int threads : {1, 2, 0}) {
+    for (const int bits : {0, 4}) {
+      ExecContext context;
+      context.data_plane_threads = threads;
+      context.join_partition_bits = bits;
+      context.morsel_grain = 192;  // Force genuinely multi-morsel runs.
+      EXPECT_EQ(FilterBoxCount(modis_, box, context), want_count)
+          << "threads=" << threads;
+      EXPECT_EQ(DimJoinCount(modis_, other_, context), want_dim)
+          << "threads=" << threads << " bits=" << bits;
+      EXPECT_EQ(AttrJoinCount(modis_, 0, Keys(), context), want_attr)
+          << "threads=" << threads << " bits=" << bits;
+    }
+  }
+}
+
+// The deleted join.h caveat, disproved under TSan: concurrent joins, each
+// with its own context (different thread counts and partition bits),
+// produce exactly the sequential results. No process-global state is
+// involved — that was the point of ExecContext.
+TEST_F(ExecContextOperatorTest, ConcurrentJoinsUnderDistinctContexts) {
+  const int64_t want_dim = DimJoinCount(modis_, other_);
+  const int64_t want_attr = AttrJoinCount(modis_, 0, Keys());
+
+  constexpr int kWorkers = 4;
+  constexpr int kRepeats = 3;
+  std::vector<int64_t> dim_results(kWorkers * kRepeats, 0);
+  std::vector<int64_t> attr_results(kWorkers * kRepeats, 0);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      ExecContext context;
+      context.data_plane_threads = 1 + w % 3;
+      context.join_partition_bits = (w % 2 == 0) ? 0 : 4;
+      context.morsel_grain = 192 + 64 * w;
+      for (int r = 0; r < kRepeats; ++r) {
+        dim_results[static_cast<size_t>(w * kRepeats + r)] =
+            DimJoinCount(modis_, other_, context);
+        attr_results[static_cast<size_t>(w * kRepeats + r)] =
+            AttrJoinCount(modis_, 0, Keys(), context);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (const int64_t got : dim_results) EXPECT_EQ(got, want_dim);
+  for (const int64_t got : attr_results) EXPECT_EQ(got, want_attr);
+}
+
+TEST(RunnerConfigTest, AliasesReferenceTheNestedFields) {
+  workload::RunnerConfig cfg;
+  cfg.ingest_threads = 7;
+  EXPECT_EQ(cfg.ingest.threads, 7);
+  cfg.exec_context.data_plane_threads = 3;
+  EXPECT_EQ(cfg.data_plane_threads, 3);
+  cfg.join_partition_bits = 5;
+  EXPECT_EQ(cfg.exec_context.join_partition_bits, 5);
+  cfg.reorg_mode = workload::ReorgMode::kOverlapped;
+  EXPECT_EQ(cfg.reorg.mode, workload::ReorgMode::kOverlapped);
+  cfg.reorg.increment_gb = 4.0;
+  EXPECT_DOUBLE_EQ(cfg.reorg_increment_gb, 4.0);
+  cfg.overlap_window_alpha = 0.25;
+  EXPECT_DOUBLE_EQ(cfg.reorg.overlap_window_alpha, 0.25);
+  cfg.arbitration.ingest_reserve_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(cfg.reorg.arbitration.ingest_reserve_fraction, 0.5);
+}
+
+TEST(RunnerConfigTest, CopiesRebindAliasesToTheirOwnFields) {
+  workload::RunnerConfig original;
+  original.ingest_threads = 7;
+  original.reorg_increment_gb = 4.0;
+
+  workload::RunnerConfig copy = original;
+  EXPECT_EQ(copy.ingest.threads, 7);
+  EXPECT_DOUBLE_EQ(copy.reorg.increment_gb, 4.0);
+
+  // Mutating the copy (through an alias) must not touch the original: the
+  // aliases are rebound by the user-provided copy operations.
+  copy.ingest_threads = 2;
+  copy.reorg_increment_gb = 9.0;
+  EXPECT_EQ(original.ingest.threads, 7);
+  EXPECT_DOUBLE_EQ(original.reorg.increment_gb, 4.0);
+  EXPECT_EQ(copy.ingest.threads, 2);
+
+  // Same for assignment.
+  workload::RunnerConfig assigned;
+  assigned = original;
+  assigned.data_plane_threads = 6;
+  EXPECT_EQ(original.exec_context.data_plane_threads, 1);
+  EXPECT_EQ(assigned.exec_context.data_plane_threads, 6);
+}
+
+}  // namespace
+}  // namespace arraydb::exec

@@ -26,7 +26,7 @@ RunnerConfig BaseConfig(core::PartitionerKind kind, ReorgMode mode) {
   cfg.initial_nodes = 2;
   cfg.nodes_per_scaleout = 2;
   cfg.max_nodes = 8;
-  cfg.reorg_mode = mode;
+  cfg.reorg.mode = mode;
   return cfg;
 }
 
@@ -144,8 +144,8 @@ TEST(ReorgEquivalenceTest, OverlappedRunDeterministicAcrossThreadsAndSizes) {
   } variants[] = {{1, 0.5}, {4, 0.5}, {0, 0.5}, {1, 8.0}, {1, 1e9}};
   for (const auto& v : variants) {
     RunnerConfig cfg = base;
-    cfg.ingest_threads = v.threads;
-    cfg.reorg_increment_gb = v.increment_gb;
+    cfg.ingest.threads = v.threads;
+    cfg.reorg.increment_gb = v.increment_gb;
     results.push_back(WorkloadRunner(cfg).Run(ais));
   }
   for (size_t i = 1; i < results.size(); ++i) {

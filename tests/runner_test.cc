@@ -17,7 +17,7 @@ TEST(RunnerConfigTest, IncrementBudgetDefaultsShareOneSourceOfTruth) {
   // Regression: RunnerConfig.reorg_increment_gb and ReorgOptions.
   // increment_gb once carried independent literals that could silently
   // diverge; both now default to reorg::kDefaultIncrementGb.
-  EXPECT_DOUBLE_EQ(RunnerConfig().reorg_increment_gb,
+  EXPECT_DOUBLE_EQ(RunnerConfig().reorg.increment_gb,
                    reorg::ReorgOptions().increment_gb);
   EXPECT_DOUBLE_EQ(reorg::ReorgOptions().increment_gb,
                    reorg::kDefaultIncrementGb);

@@ -125,7 +125,7 @@ TEST(ParallelIngestTest, RunnerMetricsIdenticalAcrossThreadCounts) {
     cfg.nodes_per_scaleout = 2;
     cfg.max_nodes = 8;
     cfg.run_queries = false;
-    cfg.ingest_threads = thread_counts[i];
+    cfg.ingest.threads = thread_counts[i];
     results[i] = workload::WorkloadRunner(cfg).Run(ais);
   }
   for (int i = 1; i < 3; ++i) {
