@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""clang-format gate.
+
+Default mode checks the files *changed against a base ref* (merge-base
+with origin/main, or ``--base REF``), so the gate bites on every PR
+without demanding a tree-wide reformat commit first; ``--all`` checks
+every tracked C++ file for a full audit. Exit 0 when everything checked
+is format-clean, 1 otherwise (with a unified diff of what clang-format
+would change), 2 on configuration errors.
+
+Usage:
+    python3 ci/check_format.py              # changed files vs origin/main
+    python3 ci/check_format.py --all        # whole tree
+    python3 ci/check_format.py --fix        # rewrite instead of checking
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CXX_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
+CXX_DIRS = ("src", "tests", "bench", "examples")
+
+
+def git(*argv):
+    return subprocess.run(
+        ["git", *argv], capture_output=True, text=True, cwd=REPO_ROOT
+    )
+
+
+def tracked_cxx_files():
+    proc = git("ls-files", "--", *CXX_DIRS)
+    return [f for f in proc.stdout.splitlines() if f.endswith(CXX_SUFFIXES)]
+
+
+def changed_cxx_files(base):
+    mb = git("merge-base", base, "HEAD")
+    if mb.returncode != 0:
+        return None
+    proc = git("diff", "--name-only", "--diff-filter=d", mb.stdout.strip())
+    return [
+        f
+        for f in proc.stdout.splitlines()
+        if f.endswith(CXX_SUFFIXES)
+        and f.startswith(tuple(d + "/" for d in CXX_DIRS))
+    ]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--base", default="origin/main")
+    ap.add_argument("--all", action="store_true")
+    ap.add_argument("--fix", action="store_true")
+    args = ap.parse_args()
+
+    fmt = shutil.which("clang-format")
+    if fmt is None:
+        print("error: clang-format not on PATH", file=sys.stderr)
+        return 2
+
+    if args.all:
+        files = tracked_cxx_files()
+    else:
+        files = changed_cxx_files(args.base)
+        if files is None:
+            print(
+                f"note: no merge-base with {args.base}; "
+                "falling back to the full tree",
+                file=sys.stderr,
+            )
+            files = tracked_cxx_files()
+    files = [f for f in files if os.path.isfile(os.path.join(REPO_ROOT, f))]
+    if not files:
+        print("check_format: nothing to check", file=sys.stderr)
+        return 0
+
+    if args.fix:
+        subprocess.run([fmt, "-i", *files], cwd=REPO_ROOT, check=False)
+        print(f"check_format: reformatted {len(files)} file(s)")
+        return 0
+
+    dirty = []
+    for f in files:
+        proc = subprocess.run(
+            [fmt, "--dry-run", "-Werror", f],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        if proc.returncode != 0:
+            dirty.append(f)
+    if dirty:
+        print("files needing clang-format (run ci/check_format.py --fix):")
+        for f in dirty:
+            print(f"  {f}")
+    print(
+        f"check_format: {len(files)} file(s) checked, {len(dirty)} dirty",
+        file=sys.stderr,
+    )
+    return 1 if dirty else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with compilation-database-hash caching.
+
+Runs the curated ``.clang-tidy`` profile (warnings-as-errors) over every
+translation unit in ``src/`` listed in ``compile_commands.json``, in
+parallel, and caches clean verdicts in ``.tidy-cache/`` keyed by
+
+    sha256(file contents, its compile command, .clang-tidy contents)
+
+so re-runs (and CI runs restoring the cache directory) only re-analyze
+files whose content, flags, or check profile actually changed — the
+ccache model, applied to static analysis. A cached entry is only ever a
+*clean* verdict; findings always re-run and always fail.
+
+Usage:
+    python3 ci/run_clang_tidy.py [--build-dir build] [--jobs N] [paths...]
+
+Exit status: 0 clean, 1 findings, 2 configuration error (no database, no
+clang-tidy on PATH).
+"""
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_database(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(
+            f"error: {db_path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the root CMakeLists "
+            "already sets it)",
+            file=sys.stderr,
+        )
+        return None
+    with open(db_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def entry_key(entry, profile_hash):
+    """Cache key: file content x compile command x check profile."""
+    h = hashlib.sha256()
+    h.update(profile_hash)
+    command = entry.get("command") or " ".join(entry.get("arguments", []))
+    h.update(command.encode())
+    try:
+        with open(entry["file"], "rb") as f:
+            h.update(f.read())
+    except OSError:
+        h.update(b"<unreadable>")
+    return h.hexdigest()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="*", help="restrict to these path prefixes")
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument(
+        "--cache-dir", default=os.path.join(REPO_ROOT, ".tidy-cache")
+    )
+    ap.add_argument("--jobs", type=int, default=multiprocessing.cpu_count())
+    ap.add_argument(
+        "--no-cache", action="store_true", help="re-analyze everything"
+    )
+    args = ap.parse_args()
+
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("error: clang-tidy not on PATH", file=sys.stderr)
+        return 2
+    database = load_database(args.build_dir)
+    if database is None:
+        return 2
+
+    profile_path = os.path.join(REPO_ROOT, ".clang-tidy")
+    with open(profile_path, "rb") as f:
+        profile_hash = hashlib.sha256(f.read()).digest()
+
+    prefixes = [os.path.abspath(p) for p in args.paths] or [
+        os.path.join(REPO_ROOT, "src")
+    ]
+    entries = []
+    seen = set()
+    for entry in database:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", "."), entry["file"])
+        )
+        entry["file"] = path
+        if path in seen:
+            continue
+        if any(path.startswith(p + os.sep) or path == p for p in prefixes):
+            seen.add(path)
+            entries.append(entry)
+    if not entries:
+        print("error: no matching translation units", file=sys.stderr)
+        return 2
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+
+    def run_one(entry):
+        key = entry_key(entry, profile_hash)
+        marker = os.path.join(args.cache_dir, key)
+        rel = os.path.relpath(entry["file"], REPO_ROOT)
+        if not args.no_cache and os.path.exists(marker):
+            return rel, "cached", ""
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", entry["file"]],
+            capture_output=True,
+            text=True,
+        )
+        # clang-tidy exits non-zero on warnings-as-errors findings.
+        if proc.returncode == 0:
+            with open(marker, "w", encoding="utf-8"):
+                pass
+            return rel, "clean", ""
+        return rel, "findings", proc.stdout + proc.stderr
+
+    failures = []
+    cached = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for rel, status, output in pool.map(run_one, entries):
+            if status == "cached":
+                cached += 1
+            elif status == "findings":
+                failures.append((rel, output))
+                print(f"-- {rel}: FINDINGS")
+            else:
+                print(f"-- {rel}: clean")
+
+    for rel, output in failures:
+        print(f"\n==== {rel} ====\n{output}")
+    print(
+        f"clang-tidy: {len(entries)} TUs, {cached} cached, "
+        f"{len(failures)} with findings",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

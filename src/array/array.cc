@@ -59,6 +59,7 @@ const Chunk* Array::FindChunk(const Coordinates& chunk_coords) const {
 std::vector<ChunkInfo> Array::ChunkInfos() const {
   std::vector<ChunkInfo> out;
   out.reserve(chunks_.size());
+  // arraydb-lint: ordered-extract -- copied out, then sorted below.
   for (const auto& [coords, chunk] : chunks_) out.push_back(chunk.info());
   std::sort(out.begin(), out.end(),
             [](const ChunkInfo& a, const ChunkInfo& b) {
@@ -70,6 +71,7 @@ std::vector<ChunkInfo> Array::ChunkInfos() const {
 std::vector<const Chunk*> Array::SortedChunks() const {
   std::vector<const Chunk*> out;
   out.reserve(chunks_.size());
+  // arraydb-lint: ordered-extract -- copied out, then sorted below.
   for (const auto& [coords, chunk] : chunks_) out.push_back(&chunk);
   std::sort(out.begin(), out.end(), [](const Chunk* a, const Chunk* b) {
     return CoordinatesLess(a->coords(), b->coords());

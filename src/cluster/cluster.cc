@@ -194,8 +194,11 @@ bool Cluster::Lookup(const array::Coordinates& coords, NodeId* node,
 void Cluster::ForEachChunk(
     const std::function<void(const array::Coordinates&, NodeId, int64_t)>& fn)
     const {
-  for (const auto& [coords, rec] : chunk_map_) {
-    fn(coords, rec.node, rec.bytes);
+  // Sorted enumeration: iterating chunk_map_ directly would leak hash
+  // order into every caller's visit sequence (cost merges, placement
+  // planners, tests that record visit order).
+  for (const ChunkRecord& rec : AllChunks()) {
+    fn(rec.coords, rec.node, rec.bytes);
   }
 }
 
@@ -240,6 +243,7 @@ int64_t Cluster::NodeChunkCount(NodeId node) const {
 
 std::vector<ChunkRecord> Cluster::ChunksOnNode(NodeId node) const {
   std::vector<ChunkRecord> out;
+  // arraydb-lint: ordered-extract -- copied out, then sorted below.
   for (const auto& [coords, rec] : chunk_map_) {
     if (rec.node == node) out.push_back(rec);
   }
@@ -253,6 +257,7 @@ std::vector<ChunkRecord> Cluster::ChunksOnNode(NodeId node) const {
 std::vector<ChunkRecord> Cluster::AllChunks() const {
   std::vector<ChunkRecord> out;
   out.reserve(chunk_map_.size());
+  // arraydb-lint: ordered-extract -- copied out, then sorted below.
   for (const auto& [coords, rec] : chunk_map_) out.push_back(rec);
   std::sort(out.begin(), out.end(),
             [](const ChunkRecord& a, const ChunkRecord& b) {

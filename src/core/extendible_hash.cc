@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 
 #include "util/logging.h"
 
@@ -55,6 +54,7 @@ cluster::MovePlan ExtendibleHashPartitioner::PlanScaleOut(
   // so that consecutive splits in one scale-out see each other's effect.
   auto entry_bytes = [&]() {
     std::vector<int64_t> bytes(directory_.size(), 0);
+    // arraydb-lint: order-insensitive -- exact integer sums per slot.
     for (const auto& [coords, rec] : cluster.chunk_map()) {
       bytes[ChunkHash(coords) & DirMask()] += rec.bytes;
     }

@@ -119,6 +119,8 @@ cluster::MovePlan HilbertPartitioner::PlanScaleOut(
   std::vector<Entry> entries;
   entries.reserve(cluster.chunk_map().size());
   std::vector<int64_t> load(static_cast<size_t>(new_count), 0);
+  // arraydb-lint: ordered-extract order-insensitive -- entries are sorted
+  // by unique rank below; loads are exact integer sums.
   for (const auto& [coords, rec] : cluster.chunk_map()) {
     const uint64_t rank = RankOf(coords);
     entries.push_back(Entry{rank, rec.bytes});

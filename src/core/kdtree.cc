@@ -156,6 +156,8 @@ cluster::MovePlan KdTreePartitioner::PlanScaleOut(
     std::vector<int64_t> load(static_cast<size_t>(new_node), 0);
     std::vector<std::vector<ProjectedChunk>> contents(
         static_cast<size_t>(new_node));
+    // arraydb-lint: ordered-extract order-insensitive -- the victim's
+    // contents are value-sorted before splitting; loads are integer sums.
     for (const auto& [coords, rec] : cluster.chunk_map()) {
       array::Coordinates projected = projection_.Project(coords);
       const NodeId owner = LeafOf(projected)->host;

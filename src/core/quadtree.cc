@@ -103,6 +103,7 @@ QuadtreePartitioner::QuadtreePartitioner(const array::ArraySchema& schema,
 int64_t QuadtreePartitioner::CellBytes(const Cell& cell,
                                        const cluster::Cluster& cluster) const {
   int64_t bytes = 0;
+  // arraydb-lint: order-insensitive -- exact integer sum.
   for (const auto& [coords, rec] : cluster.chunk_map()) {
     if (cell.Contains(projection_.Project(coords))) bytes += rec.bytes;
   }
@@ -239,6 +240,7 @@ cluster::MovePlan QuadtreePartitioner::PlanScaleOut(
   for (NodeId new_node = old_node_count; new_node < new_count; ++new_node) {
     // Working loads through the (already partially updated) table.
     std::vector<int64_t> load(static_cast<size_t>(new_node), 0);
+    // arraydb-lint: order-insensitive -- exact integer sums per host.
     for (const auto& [coords, rec] : cluster.chunk_map()) {
       const NodeId owner = Locate(coords);
       if (owner >= 0 && owner < new_node) {

@@ -87,6 +87,7 @@ QueryCost QueryEngine::Simulate(const QuerySpec& spec,
   if (spec.kind != QueryKind::kKnn) {
     for (const auto& rec : relevant) {
       const double gb = util::BytesToGb(static_cast<double>(rec.bytes));
+      // arraydb-lint: fixed-order -- `relevant` is in sorted chunk order.
       cost.scanned_gb += gb * scan_factor;
       node_minutes[static_cast<size_t>(rec.node)] +=
           gb * scan_factor *
@@ -133,6 +134,7 @@ QueryCost QueryEngine::Simulate(const QuerySpec& spec,
           if (!fetched.emplace(rec.node, nb).second) return;
           const double nb_gb =
               util::BytesToGb(static_cast<double>(nb_bytes));
+          // arraydb-lint: fixed-order -- sorted chunks x fixed face order.
           node_minutes[static_cast<size_t>(rec.node)] +=
               spec.halo_fraction * nb_gb * params_.net_min_per_gb +
               params_.remote_fetch_minutes;
@@ -148,6 +150,7 @@ QueryCost QueryEngine::Simulate(const QuerySpec& spec,
       std::vector<double> cumulative(relevant.size());
       double acc = 0.0;
       for (size_t i = 0; i < relevant.size(); ++i) {
+        // arraydb-lint: fixed-order -- sequential prefix sum.
         acc += static_cast<double>(relevant[i].bytes);
         cumulative[i] = acc;
       }
@@ -164,8 +167,10 @@ QueryCost QueryEngine::Simulate(const QuerySpec& spec,
         // Probe reads its own chunk and scans the candidates; a chunk
         // already probed stays cached on its node.
         if (probed.insert(rec.coords).second) {
+          // arraydb-lint: fixed-order -- probes draw from a seeded Rng.
           node_minutes[static_cast<size_t>(rec.node)] +=
               gb * (params_.io_read_min_per_gb + spec.cpu_min_per_gb);
+          // arraydb-lint: fixed-order -- probes draw from a seeded Rng.
           cost.scanned_gb += gb;
           ++cost.chunks_touched;
         }
@@ -177,6 +182,7 @@ QueryCost QueryEngine::Simulate(const QuerySpec& spec,
           if (!fetched.emplace(rec.node, nb).second) return;
           const double nb_gb =
               util::BytesToGb(static_cast<double>(nb_bytes));
+          // arraydb-lint: fixed-order -- seeded probes x fixed ring order.
           node_minutes[static_cast<size_t>(rec.node)] +=
               spec.halo_fraction * nb_gb * params_.net_min_per_gb +
               params_.remote_fetch_minutes;

@@ -149,6 +149,7 @@ int64_t DimJoinCountBySet(const array::Array& a, const array::Array& b) {
     const int64_t* pos = chunk.cell_pos(i);
     scratch.assign(pos, pos + chunk.num_dims());
   };
+  // arraydb-lint: order-insensitive -- set insertion is commutative.
   for (const auto& [coords, chunk] : build.chunks()) {
     for (size_t i = 0; i < chunk.num_cells(); ++i) {
       load_pos(chunk, i);
@@ -156,6 +157,8 @@ int64_t DimJoinCountBySet(const array::Array& a, const array::Array& b) {
     }
   }
   int64_t matches = 0;
+  // arraydb-lint: order-insensitive -- exact integer count of membership
+  // hits; no visit-order dependence.
   for (const auto& [coords, chunk] : probe.chunks()) {
     for (size_t i = 0; i < chunk.num_cells(); ++i) {
       load_pos(chunk, i);
@@ -311,6 +314,8 @@ int64_t AttrJoinCount(const array::Array& array, int attr,
   // nothing — parallelism comes from the morsel-parallel probe.
   FlatKeySet table;
   table.Reserve(keys.size());
+  // arraydb-lint: order-insensitive -- FlatKeySet membership is identical
+  // for any insertion order; only contains() results are consumed.
   for (const int64_t key : keys) table.Insert(static_cast<uint64_t>(key));
   const MorselScheduler scheduler(options.morsel);
   TELEM_SPAN("exec.join.attr_probe");

@@ -321,6 +321,8 @@ std::map<array::Coordinates, double> GroupBySum(
             single_bin &= key[d] == BinOrigin(chunk.bbox_hi()[d], bin[d]);
           }
           if (single_bin) {
+            // arraydb-lint: fixed-order -- one Sum-kernel call per chunk;
+            // chunks visit in the scheduler's fixed morsel order.
             partial[key] += simd::Sum(column.data(), column.size());
             continue;
           }
@@ -329,14 +331,21 @@ std::map<array::Coordinates, double> GroupBySum(
             for (size_t d = 0; d < ndims; ++d) {
               key[d] = BinOrigin(pos[d], bin[d]);
             }
+            // arraydb-lint: fixed-order -- cells accumulate in columnar
+            // storage order within one morsel.
             partial[key] += column[i];
           }
         }
         return partial;
       },
       [](BinMap& acc_map, BinMap&& partial) {
+        // arraydb-lint: order-insensitive fixed-order -- keys are distinct
+        // within one partial, and partials merge in the scheduler's fixed
+        // order, so each bin's addition sequence is pinned regardless of
+        // the hash iteration order here.
         for (auto& [key, sum] : partial) acc_map[key] += sum;
       });
+  // arraydb-lint: ordered-extract -- std::map construction sorts by key.
   return std::map<array::Coordinates, double>(acc.begin(), acc.end());
 }
 
@@ -348,7 +357,11 @@ BuildValueIndex(const array::Array& array, int attr) {
   std::unordered_map<array::Coordinates, double, array::CoordinatesHash> index;
   index.reserve(static_cast<size_t>(array.total_cells()));
   array::Coordinates scratch;
-  for (const auto& [coords, chunk] : array.chunks()) {
+  // Sorted chunk order: with duplicate positions (e.g. a chunk staged twice
+  // mid-reorg) emplace keeps the first occurrence, so hash-order iteration
+  // would make the index contents history-dependent.
+  for (const array::Chunk* chunk_ptr : array.SortedChunks()) {
+    const array::Chunk& chunk = *chunk_ptr;
     if (chunk.num_cells() == 0) continue;
     const auto& column = chunk.attr_column(static_cast<size_t>(attr));
     for (size_t i = 0; i < chunk.num_cells(); ++i) {
@@ -380,6 +393,8 @@ double WindowAverageFromIndex(
     }
     const auto it = index.find(probe);
     if (it != index.end()) {
+      // arraydb-lint: fixed-order -- window cells visit in the odd-base
+      // counter's enumeration order, identical for every configuration.
       sum += it->second;
       ++count;
     }
@@ -413,6 +428,7 @@ std::vector<std::pair<array::Coordinates, double>> WindowAverageAll(
   // its final order.
   std::vector<array::Coordinates> positions;
   positions.reserve(index.size());
+  // arraydb-lint: ordered-extract -- sorted on the next line.
   for (const auto& [pos, value] : index) positions.push_back(pos);
   std::sort(positions.begin(), positions.end(), array::CoordinatesLess);
   std::vector<std::pair<array::Coordinates, double>> out(positions.size());
@@ -471,6 +487,7 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
         for (size_t d = 0; d < dims; ++d) {
           const double diff =
               points[i][d] - result.centroids[static_cast<size_t>(c)][d];
+          // arraydb-lint: fixed-order -- sequential over dimensions.
           dist += diff * diff;
         }
         if (dist < best) {
@@ -490,6 +507,7 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
     std::vector<int64_t> counts(static_cast<size_t>(k), 0);
     for (size_t i = 0; i < points.size(); ++i) {
       const auto c = static_cast<size_t>(result.assignment[i]);
+      // arraydb-lint: fixed-order -- sequential over points in index order.
       for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
       ++counts[c];
     }
@@ -507,6 +525,7 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
     const auto c = static_cast<size_t>(result.assignment[i]);
     for (size_t d = 0; d < dims; ++d) {
       const double diff = points[i][d] - result.centroids[c][d];
+      // arraydb-lint: fixed-order -- sequential over points and dimensions.
       result.inertia += diff * diff;
     }
   }
@@ -555,6 +574,7 @@ util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
               double dist = 0.0;
               for (size_t d = 0; d < ndims; ++d) {
                 const double diff = static_cast<double>(pos[d] - origin[d]);
+                // arraydb-lint: fixed-order -- sequential over dimensions.
                 dist += diff * diff;
               }
               dists[static_cast<size_t>(global < idx ? global : global - 1)] =
@@ -564,9 +584,13 @@ util::StatusOr<double> KnnAverageDistance(const array::Array& array, int k,
     });
     std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
     double sum = 0.0;
+    // arraydb-lint: fixed-order -- dists is built deterministically and
+    // nth_element permutes deterministically for a fixed input, so the
+    // first-k addition order is pinned for a given binary.
     for (int i = 0; i < k; ++i) sum += dists[static_cast<size_t>(i)];
     // nth_element leaves the first k elements as the k smallest (unordered);
     // their mean is the probe's kNN distance.
+    // arraydb-lint: fixed-order -- sequential over sample probes.
     total += sum / static_cast<double>(k);
   }
   return total / static_cast<double>(samples);
@@ -618,6 +642,7 @@ util::StatusOr<array::Array> Regrid(const array::Array& array,
         key[d] = (pos[d] - schema.dims()[d].lo) / factors[d];
       }
       auto& slot = acc[key];
+      // arraydb-lint: fixed-order -- cells accumulate in storage order.
       slot.first += column[i];
       slot.second += 1;
     }

@@ -16,45 +16,6 @@
 
 namespace arraydb::workload {
 
-// Value fields copy; the deprecated flat-field aliases rebind to the
-// copy's own sub-configs through their default member initializers (a
-// defaulted copy would leave them pointing at the source).
-RunnerConfig::RunnerConfig(const RunnerConfig& other)
-    : partitioner(other.partitioner),
-      policy(other.policy),
-      initial_nodes(other.initial_nodes),
-      nodes_per_scaleout(other.nodes_per_scaleout),
-      max_nodes(other.max_nodes),
-      staircase_samples(other.staircase_samples),
-      staircase_plan_ahead(other.staircase_plan_ahead),
-      ingest(other.ingest),
-      exec_context(other.exec_context),
-      reorg(other.reorg),
-      serving(other.serving),
-      cost_params(other.cost_params),
-      engine_params(other.engine_params),
-      run_queries(other.run_queries),
-      trace_path(other.trace_path) {}
-
-RunnerConfig& RunnerConfig::operator=(const RunnerConfig& other) {
-  partitioner = other.partitioner;
-  policy = other.policy;
-  initial_nodes = other.initial_nodes;
-  nodes_per_scaleout = other.nodes_per_scaleout;
-  max_nodes = other.max_nodes;
-  staircase_samples = other.staircase_samples;
-  staircase_plan_ahead = other.staircase_plan_ahead;
-  ingest = other.ingest;
-  exec_context = other.exec_context;
-  reorg = other.reorg;
-  serving = other.serving;
-  cost_params = other.cost_params;
-  engine_params = other.engine_params;
-  run_queries = other.run_queries;
-  trace_path = other.trace_path;
-  return *this;
-}
-
 std::vector<double> RunResult::MovedGbTrajectory() const {
   std::vector<double> out;
   out.reserve(cycles.size());

@@ -166,29 +166,6 @@ struct RunnerConfig {
   /// with or without tracing. The ARRAYDB_TRACE environment variable offers
   /// the same capture process-wide without touching the config.
   std::string trace_path;
-
-  // -- Deprecated flat-field aliases (kept for one release) -------------------
-  //
-  // The flat 15-field config became the nested sub-configs above; these
-  // references keep the old names compiling. They alias the nested fields
-  // (reads and writes see the same storage) and will be removed next
-  // release — new code addresses the sub-configs directly.
-  int& ingest_threads = ingest.threads;
-  int& data_plane_threads = exec_context.data_plane_threads;
-  int& join_partition_bits = exec_context.join_partition_bits;
-  ReorgMode& reorg_mode = reorg.mode;
-  MigrationBudgetPolicy& budget_policy = reorg.budget_policy;
-  double& reorg_increment_gb = reorg.increment_gb;
-  double& overlap_window_alpha = reorg.overlap_window_alpha;
-  cluster::ArbitrationClamps& arbitration = reorg.arbitration;
-
-  // The reference aliases make the defaulted copy operations wrong (a
-  // copy's references would bind to the *source's* sub-configs), so
-  // copying is user-provided: value fields copy, aliases rebind to the
-  // copy's own sub-configs via their default member initializers.
-  RunnerConfig() = default;
-  RunnerConfig(const RunnerConfig& other);
-  RunnerConfig& operator=(const RunnerConfig& other);
 };
 
 /// One cycle's serving-scenario outcome (latencies in simulated ms).

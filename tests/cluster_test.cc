@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "cluster/cluster.h"
 #include "util/units.h"
 
@@ -114,6 +117,40 @@ TEST(ClusterTest, ChunksOnNodeIsSortedAndFiltered) {
   EXPECT_EQ(on0[1].coords, (array::Coordinates{2, 0}));
   EXPECT_EQ(c.ChunksOnNode(1).size(), 1u);
   EXPECT_EQ(c.AllChunks().size(), 3u);
+}
+
+// Regression (determinism lint R1): ForEachChunk used to iterate the
+// unordered chunk map directly, exposing hash order — which varies with
+// insertion history — to every caller's visit sequence. It must enumerate
+// in sorted coordinate order, independent of placement order.
+TEST(ClusterTest, ForEachChunkEnumeratesInSortedOrder) {
+  // Same chunks, two different insertion histories.
+  Cluster a(2, 100.0);
+  ASSERT_TRUE(a.PlaceChunk({0, 0}, 10, 0).ok());
+  ASSERT_TRUE(a.PlaceChunk({0, 1}, 20, 1).ok());
+  ASSERT_TRUE(a.PlaceChunk({1, 0}, 30, 0).ok());
+  ASSERT_TRUE(a.PlaceChunk({2, 5}, 40, 1).ok());
+
+  Cluster b(2, 100.0);
+  ASSERT_TRUE(b.PlaceChunk({2, 5}, 40, 1).ok());
+  ASSERT_TRUE(b.PlaceChunk({1, 0}, 30, 0).ok());
+  ASSERT_TRUE(b.PlaceChunk({0, 1}, 20, 1).ok());
+  ASSERT_TRUE(b.PlaceChunk({0, 0}, 10, 0).ok());
+
+  const auto visit = [](const Cluster& c) {
+    std::vector<array::Coordinates> order;
+    c.ForEachChunk([&](const array::Coordinates& coords, NodeId, int64_t) {
+      order.push_back(coords);
+    });
+    return order;
+  };
+  const auto order_a = visit(a);
+  const auto order_b = visit(b);
+  ASSERT_EQ(order_a.size(), 4u);
+  EXPECT_EQ(order_a, order_b);
+  auto sorted = order_a;
+  std::sort(sorted.begin(), sorted.end(), array::CoordinatesLess);
+  EXPECT_EQ(order_a, sorted);
 }
 
 TEST(MovePlanTest, Accounting) {

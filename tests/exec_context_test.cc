@@ -182,37 +182,23 @@ TEST_F(ExecContextOperatorTest, ConcurrentJoinsUnderDistinctContexts) {
   for (const int64_t got : attr_results) EXPECT_EQ(got, want_attr);
 }
 
-TEST(RunnerConfigTest, AliasesReferenceTheNestedFields) {
-  workload::RunnerConfig cfg;
-  cfg.ingest_threads = 7;
-  EXPECT_EQ(cfg.ingest.threads, 7);
-  cfg.exec_context.data_plane_threads = 3;
-  EXPECT_EQ(cfg.data_plane_threads, 3);
-  cfg.join_partition_bits = 5;
-  EXPECT_EQ(cfg.exec_context.join_partition_bits, 5);
-  cfg.reorg_mode = workload::ReorgMode::kOverlapped;
-  EXPECT_EQ(cfg.reorg.mode, workload::ReorgMode::kOverlapped);
-  cfg.reorg.increment_gb = 4.0;
-  EXPECT_DOUBLE_EQ(cfg.reorg_increment_gb, 4.0);
-  cfg.overlap_window_alpha = 0.25;
-  EXPECT_DOUBLE_EQ(cfg.reorg.overlap_window_alpha, 0.25);
-  cfg.arbitration.ingest_reserve_fraction = 0.5;
-  EXPECT_DOUBLE_EQ(cfg.reorg.arbitration.ingest_reserve_fraction, 0.5);
-}
-
-TEST(RunnerConfigTest, CopiesRebindAliasesToTheirOwnFields) {
+// The deprecated flat-field aliases (PR 8's one-release bridge) are gone;
+// the nested sub-configs are the only spelling, and the (now defaulted)
+// copy operations must produce fully independent values.
+TEST(RunnerConfigTest, CopiesAreIndependentValues) {
   workload::RunnerConfig original;
-  original.ingest_threads = 7;
-  original.reorg_increment_gb = 4.0;
+  original.ingest.threads = 7;
+  original.reorg.increment_gb = 4.0;
+  original.exec_context.join_partition_bits = 5;
 
   workload::RunnerConfig copy = original;
   EXPECT_EQ(copy.ingest.threads, 7);
   EXPECT_DOUBLE_EQ(copy.reorg.increment_gb, 4.0);
+  EXPECT_EQ(copy.exec_context.join_partition_bits, 5);
 
-  // Mutating the copy (through an alias) must not touch the original: the
-  // aliases are rebound by the user-provided copy operations.
-  copy.ingest_threads = 2;
-  copy.reorg_increment_gb = 9.0;
+  // Mutating the copy must not touch the original.
+  copy.ingest.threads = 2;
+  copy.reorg.increment_gb = 9.0;
   EXPECT_EQ(original.ingest.threads, 7);
   EXPECT_DOUBLE_EQ(original.reorg.increment_gb, 4.0);
   EXPECT_EQ(copy.ingest.threads, 2);
@@ -220,7 +206,7 @@ TEST(RunnerConfigTest, CopiesRebindAliasesToTheirOwnFields) {
   // Same for assignment.
   workload::RunnerConfig assigned;
   assigned = original;
-  assigned.data_plane_threads = 6;
+  assigned.exec_context.data_plane_threads = 6;
   EXPECT_EQ(original.exec_context.data_plane_threads, 1);
   EXPECT_EQ(assigned.exec_context.data_plane_threads, 6);
 }

@@ -1,0 +1,15 @@
+// Lint fixture: R2-clean randomness — explicit caller-provided seeds only.
+// Never compiled.
+#include <cstdint>
+#include <random>
+
+double ExplicitSeed(uint64_t seed) {
+  std::mt19937_64 gen(seed);  // Seed is a deterministic input.
+  return static_cast<double>(gen());
+}
+
+uint64_t SplitMix(uint64_t state) {
+  state += 0x9e3779b97f4a7c15ull;  // Pure arithmetic; no entropy source.
+  state = (state ^ (state >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return state ^ (state >> 31);
+}

@@ -1,0 +1,22 @@
+// Lint fixture: R2 nondeterministic-rng violations. Never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int UnseededRand() {
+  return std::rand();  // R2: process-global PRNG.
+}
+
+void SeedFromClock() {
+  srand(static_cast<unsigned>(time(nullptr)));  // R2: srand.
+}
+
+int HardwareEntropy() {
+  std::random_device rd;  // R2: random_device.
+  return static_cast<int>(rd());
+}
+
+double TimeSeededEngine() {
+  std::mt19937_64 gen(static_cast<uint64_t>(time(nullptr)));  // R2: clock seed.
+  return static_cast<double>(gen());
+}

@@ -1,0 +1,11 @@
+// Lint fixture: R3-clean macro arguments — pure expressions only, so the
+// compiled-out build evaluates nothing it would miss. Never compiled.
+#include <cstdint>
+
+void Observe(int64_t rows, int64_t batch) {
+  const int64_t remaining = rows - batch;
+  TELEM_COUNTER_ADD("exec.rows", rows);
+  TELEM_GAUGE_SET("exec.batch", remaining + 1);
+  ARRAYDB_CHECK_GE(rows, 0);
+  ARRAYDB_CHECK_EQ(rows == batch, remaining == 0);  // Comparisons are pure.
+}

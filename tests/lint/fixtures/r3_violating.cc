@@ -1,0 +1,11 @@
+// Lint fixture: R3 side-effecting macro arguments. Never compiled — the
+// macros stand in for the telemetry/check macros the lint inspects.
+#include <cstdint>
+
+void Observe(int64_t rows, int64_t batch) {
+  int64_t cursor = 0;
+  TELEM_COUNTER_ADD("exec.rows", cursor++);          // R3: increment.
+  TELEM_GAUGE_SET("exec.batch", batch = rows);       // R3: assignment.
+  ARRAYDB_CHECK_GE(rows -= batch, 0);                // R3: compound assign.
+  ARRAYDB_CHECK(--cursor);                           // R3: decrement.
+}

@@ -1,0 +1,20 @@
+// Lint fixture: R4-clean configuration — knobs travel through an explicit
+// ExecContext value instead of process-global shims. Never compiled.
+#include <cstdint>
+
+struct ExecContext {
+  int data_plane_threads = 1;
+  int join_partition_bits = 4;
+};
+
+int64_t RunWithContext(const ExecContext& context) {
+  return static_cast<int64_t>(context.data_plane_threads) +
+         context.join_partition_bits;
+}
+
+ExecContext MakeContext(int threads, int bits) {
+  ExecContext context;
+  context.data_plane_threads = threads;
+  context.join_partition_bits = bits;
+  return context;
+}

@@ -1,0 +1,13 @@
+// Lint fixture: R4 deprecated global-knob shim calls. Never compiled.
+#include <cstdint>
+
+void ConfigureGlobally() {
+  SetDataPlaneThreads(8);      // R4: process-global mutation.
+  SetJoinPartitionBits(6);     // R4: process-global mutation.
+}
+
+int64_t RunWithScopedKnobs() {
+  ScopedDataPlaneThreads threads(4);  // R4: scoped shim.
+  ScopedJoinPartitionBits bits(5);    // R4: scoped shim.
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Lint fixture: R5-clean reductions — annotated fp merges and exact
+// integer sums. Never compiled. Linted as-if under src/exec/.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+double AnnotatedSum(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    // arraydb-lint: fixed-order -- sequential over values in index order.
+    sum += values[i];
+  }
+  return sum;
+}
+
+int64_t IntegerSum(const std::vector<int64_t>& values) {
+  int64_t total = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    total += values[i];  // Exact in any order; no annotation needed.
+  }
+  return total;
+}

@@ -1,0 +1,25 @@
+// Lint fixture: R5 float-accumulation without a merge-order annotation.
+// Never compiled. The harness lints this file as-if under src/exec/.
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+double NaiveSum(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    sum += values[i];  // R5: unannotated floating-point reduction.
+  }
+  return sum;
+}
+
+double AccumulateSum(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);  // R5.
+}
+
+double IndexedBins(const std::vector<double>& values) {
+  std::vector<double> bins(4, 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    bins[i % 4] += values[i];  // R5: indexed fp target, unannotated.
+  }
+  return bins[0];
+}

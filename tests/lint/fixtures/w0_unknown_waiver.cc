@@ -1,0 +1,12 @@
+// Lint fixture: W0 — a waiver comment with a token outside the vocabulary
+// must itself be an error, so the waiver language cannot rot. Never
+// compiled.
+#include <cstdint>
+#include <unordered_map>
+
+int64_t Sum(const std::unordered_map<int64_t, int64_t>& m) {
+  int64_t total = 0;
+  // arraydb-lint: totally-fine -- W0: not a known waiver token.
+  for (const auto& [key, value] : m) total += value;
+  return total;
+}
