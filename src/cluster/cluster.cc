@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/stats.h"
@@ -175,6 +176,123 @@ void Cluster::AbortReorg() {
   in_flight_end_ = 0;
   source_replicas_.clear();
   ++reorg_epoch_;
+}
+
+util::Status Cluster::RollbackReorg() {
+  if (!reorg_active()) {
+    return util::FailedPrecondition("no active reorganization to roll back");
+  }
+  // The in-flight slice (if any) only copied; nothing to revert there.
+  in_flight_end_ = pending_cursor_;
+  // Revert every committed flip onto its retained source replica. The
+  // replica was never dropped (that happens only at FinishApply), so this
+  // is a metadata flip, not a data transfer.
+  for (size_t i = 0; i < pending_cursor_; ++i) {
+    const auto& m = pending_moves_[i];
+    auto& rec = chunk_map_.at(m.coords);
+    node_bytes_[static_cast<size_t>(rec.node)] -= rec.bytes;
+    node_chunks_[static_cast<size_t>(rec.node)] -= 1;
+    rec.node = m.from;
+    node_bytes_[static_cast<size_t>(m.from)] += rec.bytes;
+    node_chunks_[static_cast<size_t>(m.from)] += 1;
+  }
+  pending_moves_.clear();
+  pending_cursor_ = 0;
+  in_flight_end_ = 0;
+  source_replicas_.clear();
+  ++reorg_epoch_;
+  return util::Status::Ok();
+}
+
+bool Cluster::ReorgTargetsNode(NodeId node) const {
+  for (const auto& m : pending_moves_) {
+    if (m.to == node) return true;
+  }
+  return false;
+}
+
+bool Cluster::ReorgSourcedFromNode(NodeId node) const {
+  for (const auto& m : pending_moves_) {
+    if (m.from == node) return true;
+  }
+  return false;
+}
+
+util::StatusOr<Cluster::RerouteStats> Cluster::RerouteDeadDestination(
+    NodeId dead,
+    const std::function<NodeId(const ChunkMove&)>& new_destination) {
+  if (!reorg_active()) {
+    return util::FailedPrecondition("no active reorganization to replan");
+  }
+  if (increment_in_flight()) {
+    return util::FailedPrecondition(
+        "replan with an increment in flight; CancelIncrement first");
+  }
+  if (ReorgSourcedFromNode(dead)) {
+    return util::Unavailable(util::StrFormat(
+        "node %d holds source replicas of the active plan; its loss is "
+        "unrecoverable without replication",
+        dead));
+  }
+  // Resolve and validate every redirect before mutating anything, so a bad
+  // callback leaves the staging state untouched.
+  std::vector<std::pair<size_t, NodeId>> redirects;
+  for (size_t i = 0; i < pending_moves_.size(); ++i) {
+    const auto& m = pending_moves_[i];
+    if (m.to != dead) continue;
+    const NodeId target = new_destination(m);
+    if (target < 0 || target >= num_nodes() || target == dead) {
+      return util::InvalidArgument(util::StrFormat(
+          "replan of %s routed to invalid node %d",
+          array::CoordinatesToString(m.coords).c_str(), target));
+    }
+    redirects.emplace_back(i, target);
+  }
+
+  RerouteStats stats;
+  std::vector<ChunkMove> committed_keep;
+  std::vector<ChunkMove> pending_new;
+  std::vector<ChunkMove> restaged;
+  size_t redirect_i = 0;
+  for (size_t i = 0; i < pending_moves_.size(); ++i) {
+    ChunkMove m = pending_moves_[i];
+    const bool hit =
+        redirect_i < redirects.size() && redirects[redirect_i].first == i;
+    if (hit) {
+      m.to = redirects[redirect_i].second;
+      ++redirect_i;
+    }
+    if (i < pending_cursor_) {
+      if (!hit) {
+        committed_keep.push_back(m);
+        continue;
+      }
+      // Revert the committed flip onto the retained source replica and
+      // re-stage the move (after the surviving pending moves, preserving
+      // their order) toward the new destination.
+      auto& rec = chunk_map_.at(m.coords);
+      node_bytes_[static_cast<size_t>(rec.node)] -= rec.bytes;
+      node_chunks_[static_cast<size_t>(rec.node)] -= 1;
+      rec.node = m.from;
+      node_bytes_[static_cast<size_t>(m.from)] += rec.bytes;
+      node_chunks_[static_cast<size_t>(m.from)] += 1;
+      stats.reverted_committed += 1;
+      stats.reverted_bytes += m.bytes;
+      restaged.push_back(m);
+    } else {
+      if (hit) stats.rerouted_pending += 1;
+      pending_new.push_back(m);
+    }
+  }
+  pending_moves_ = std::move(committed_keep);
+  pending_cursor_ = pending_moves_.size();
+  in_flight_end_ = pending_cursor_;
+  pending_moves_.insert(pending_moves_.end(), pending_new.begin(),
+                        pending_new.end());
+  pending_moves_.insert(pending_moves_.end(), restaged.begin(),
+                        restaged.end());
+  ++reorg_epoch_;
+  return stats;
 }
 
 NodeId Cluster::SourceReplicaOf(const array::Coordinates& coords) const {

@@ -21,6 +21,7 @@
 #define ARRAYDB_CLUSTER_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -96,7 +97,58 @@ class Cluster : public PlacementView {
   util::Status FinishApply();
 
   /// Drops any staged/uncommitted reorganization state. Idempotent.
+  /// Committed increments stay committed; see RollbackReorg for the full
+  /// revert.
   void AbortReorg();
+
+  // -- Failure recovery (src/fault/) ----------------------------------------
+  //
+  // Copy-then-flip makes these natural: every chunk covered by the active
+  // plan retains a readable replica at its source node until FinishApply,
+  // so a committed flip can be reverted by flipping back — no data moves.
+
+  /// Drops the in-flight increment (the copy phase failed; nothing was
+  /// flipped, so this only rewinds the slice markers). No-op when no
+  /// increment is in flight.
+  void CancelIncrement() { in_flight_end_ = pending_cursor_; }
+
+  /// Rolls the whole active reorganization back: any in-flight slice is
+  /// cancelled, every *committed* flip is reverted onto its retained source
+  /// replica, and the staging state is released. The placement is restored
+  /// exactly to its pre-reorg state; the routing epoch advances (cached
+  /// views must refresh). Fails when no reorganization is active.
+  util::Status RollbackReorg();
+
+  /// Accounting for one RerouteDeadDestination call.
+  struct RerouteStats {
+    /// Pending (uncommitted) moves redirected to a new destination.
+    int64_t rerouted_pending = 0;
+    /// Committed moves whose flip was reverted onto the source replica and
+    /// which were re-staged (at the end of the plan) with a new destination.
+    int64_t reverted_committed = 0;
+    /// Bytes across the reverted committed moves (they must be re-copied).
+    int64_t reverted_bytes = 0;
+  };
+
+  /// Replans the active reorganization around the permanent death of
+  /// destination node `dead`: every staged move targeting it is redirected
+  /// to `new_destination(move)` — pending moves in place, committed moves by
+  /// reverting their flip onto the retained source replica and re-staging
+  /// them after the surviving moves. Fails when no reorganization is active,
+  /// an increment is in flight (CancelIncrement first), a surviving *source*
+  /// lives on `dead` (data loss — unrecoverable without replication), or the
+  /// callback names an invalid/dead destination. The plan's move order is
+  /// preserved for surviving moves, so the slicing schedule stays
+  /// deterministic.
+  util::StatusOr<RerouteStats> RerouteDeadDestination(
+      NodeId dead,
+      const std::function<NodeId(const ChunkMove&)>& new_destination);
+
+  /// True when any staged move (pending or committed) targets `node`.
+  bool ReorgTargetsNode(NodeId node) const;
+
+  /// True when any staged move's source is `node`.
+  bool ReorgSourcedFromNode(NodeId node) const;
 
   /// True between BeginApply (of a non-empty plan) and FinishApply/Abort.
   bool reorg_active() const { return !pending_moves_.empty(); }

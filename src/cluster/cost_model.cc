@@ -94,8 +94,12 @@ ReorgCost CostModel::ReorgMinutes(const MovePlan& plan, int num_nodes) const {
 BandwidthBudget CostModel::ArbitrateBandwidth(
     const BandwidthDemand& demand, const ArbitrationClamps& clamps) const {
   BandwidthBudget budget;
-  const double remaining = std::max(0.0, demand.remaining_migration_gb);
-  if (remaining <= 0.0) return budget;
+  const double plan_remaining = std::max(0.0, demand.remaining_migration_gb);
+  if (plan_remaining <= 0.0) return budget;
+  // Retry traffic is migration load: re-transfers widen the demand the
+  // grant must cover, on top of the plan bytes still uncommitted.
+  const double remaining =
+      plan_remaining + std::max(0.0, demand.retry_backlog_gb);
 
   // Incremental plans are pairwise, so a slice's makespan is set by the
   // receiver: transfer at t plus the write at δ, per GB.

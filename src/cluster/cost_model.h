@@ -68,6 +68,14 @@ struct ReorgCost {
 struct BandwidthDemand {
   /// MovePlan bytes not yet committed, in GB.
   double remaining_migration_gb = 0.0;
+  /// Migration GB expected to be *re*-transferred because of faults: failed
+  /// copy attempts awaiting retry and moves a replan reverted onto their
+  /// sources (typically the previous cycle's observed retry traffic).
+  /// Counted as additional migration load — retry traffic competes for the
+  /// same link time, so it must neither silently starve the ingest
+  /// reservation nor be starved itself. 0 for fault-free callers keeps the
+  /// arbitration bit-identical to the legacy split.
+  double retry_backlog_gb = 0.0;
   /// Projected bytes of this cycle's insert batch, in GB.
   double projected_ingest_gb = 0.0;
   /// Cycles until the next staircase step is expected to land (the

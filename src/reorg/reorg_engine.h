@@ -26,6 +26,16 @@
 // each cycle against the ingest demand (see bandwidth_arbiter.h and
 // src/reorg/README.md for the arbitration policy).
 //
+// Failure semantics (src/reorg/README.md, "Failure semantics"): when a
+// fault::FaultInjector is attached, Step consults it per transfer attempt.
+// A faulted increment retries with capped exponential backoff on the
+// *virtual* clock (simulated minutes, machine-independent), a slow-copied
+// increment dilates, a per-increment timeout abandons an attempt, Abort()
+// rolls every committed flip back onto the retained source replicas (exact
+// pre-reorg placement), and a destination node's scheduled death replans
+// the surviving moves onto the remaining new nodes. All of it is
+// deterministic: the same seed replays the identical trajectory.
+//
 // Exposed follow-ons: NUMA/socket-aware increment ordering and a real async
 // copy pipeline hang off Step()'s thread-pool hook.
 
@@ -34,10 +44,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
+#include "fault/fault.h"
 #include "reorg/dual_residency.h"
 #include "util/status.h"
 
@@ -54,6 +66,19 @@ struct BudgetRequest {
   int increment_index = 0;
   /// Plan GB not yet committed.
   double remaining_gb = 0.0;
+};
+
+/// Capped exponential backoff for faulted increment copies, priced on the
+/// virtual clock so retry trajectories are machine-independent (and, by
+/// design, jitter-free: randomized jitter would break seeded replay).
+/// Backoff before retry k (1-based) is
+///   min(base_backoff_ms * backoff_multiplier^(k-1), max_backoff_ms).
+struct RetryPolicy {
+  /// Total attempts per increment (first try included). >= 1.
+  int max_attempts = 4;
+  double base_backoff_ms = 100.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1600.0;
 };
 
 struct ReorgOptions {
@@ -73,6 +98,26 @@ struct ReorgOptions {
   int copy_threads = 0;
   /// Re-check the Table-1 incremental property per increment.
   bool validate_incremental = true;
+  /// Deterministic fault source consulted per transfer attempt (and for
+  /// scheduled node deaths) during Step. Null — the default — disables
+  /// injection entirely and keeps Step bit-identical to the fault-free
+  /// engine. Must outlive the engine.
+  const fault::FaultInjector* injector = nullptr;
+  /// Retry schedule for faulted/timed-out increment copies.
+  RetryPolicy retry;
+  /// Virtual minutes after which one copy attempt is abandoned (counted as a
+  /// timeout and retried under the same RetryPolicy). Infinity disables the
+  /// timeout; must be positive.
+  double increment_timeout_minutes = std::numeric_limits<double>::infinity();
+  /// Initial reading of the engine's virtual clock, against which the
+  /// injector's scheduled node deaths are matched (the workload runner
+  /// passes its elapsed simulated minutes).
+  double virtual_start_minutes = 0.0;
+  /// Base for the plan ordinal mixed into every fault draw. Each Begin
+  /// advances the ordinal, so a plan aborted and restarted (on this engine
+  /// or — via this base — a successor engine) draws fresh faults instead of
+  /// deterministically re-hitting the same ones (livelock).
+  int plan_ordinal_base = 0;
 };
 
 /// Accounting for one committed increment.
@@ -94,6 +139,19 @@ struct IncrementStats {
   bool over_budget = false;
   /// GB taken beyond the budget (0 when within budget).
   double over_budget_gb = 0.0;
+  /// Copy attempts this increment took (1 = fault-free).
+  int attempts = 1;
+  /// Moves that drew a transient transfer failure, summed over attempts.
+  int64_t transient_failures = 0;
+  /// Moves that drew a slow copy, summed over attempts.
+  int64_t slow_copies = 0;
+  /// Attempts abandoned at the per-increment timeout.
+  int timeouts = 0;
+  /// Virtual backoff milliseconds spent between attempts.
+  double backoff_ms = 0.0;
+  /// Virtual minutes beyond the fault-free slice price: failed attempts,
+  /// backoff, and slow-copy dilation.
+  double fault_extra_minutes = 0.0;
 };
 
 /// Accounting for a whole reorganization.
@@ -121,6 +179,37 @@ struct ReorgSummary {
   double over_budget_gb = 0.0;
   /// Per-increment moved GB, in commit order (the migration trajectory).
   std::vector<double> moved_gb_per_increment;
+
+  // -- Failure accounting (all zero on the fault-free path) -----------------
+  /// Total injected faults: transient failures + slow copies + node deaths.
+  int64_t faults_injected = 0;
+  int64_t transient_failures = 0;
+  int64_t slow_copies = 0;
+  /// Retries = attempts beyond the first, summed over increments (includes
+  /// timeout-triggered retries).
+  int64_t retries = 0;
+  int64_t timeouts = 0;
+  /// Virtual backoff milliseconds spent between attempts.
+  double backoff_ms = 0.0;
+  /// Scheduled node deaths this reorganization observed.
+  int64_t node_deaths = 0;
+  /// Replans around dead destination nodes.
+  int64_t replans = 0;
+  /// Moves a replan redirected (pending reroutes + reverted re-stages).
+  int64_t replanned_chunks = 0;
+  /// GB expected to be re-transferred: failed whole-slice attempts plus
+  /// replan-reverted committed moves. Feeds
+  /// cluster::BandwidthDemand::retry_backlog_gb.
+  double retry_gb = 0.0;
+  /// GB of committed flips reverted by Abort (rolled back onto sources).
+  double rolled_back_gb = 0.0;
+  /// True once Abort() has rolled this reorganization back.
+  bool aborted = false;
+  /// Virtual minutes of pure fault overhead: failed attempts, backoff,
+  /// slow-copy dilation, and the modeled re-copy price of replan-reverted
+  /// bytes. The recovery-overhead ratio gated by bench_fault is built from
+  /// this.
+  double recovery_overhead_minutes = 0.0;
 };
 
 class IncrementalReorgEngine {
@@ -159,16 +248,50 @@ class IncrementalReorgEngine {
   /// StepAll + Finish.
   util::Status Drain();
 
+  /// Rolls the active reorganization back: every committed flip is reverted
+  /// onto its retained source replica (exact pre-reorg placement, verified
+  /// by the chaos tests) and the staging state is released. The work already
+  /// spent stays charged — a restarted plan pays again — which is exactly
+  /// the recovery overhead bench_fault gates. Fails when no reorganization
+  /// is active.
+  util::Status Abort();
+
   /// Routing view queries should use while this reorganization is active.
   DualResidencyView View() const { return DualResidencyView(*cluster_); }
 
   const ReorgSummary& summary() const { return summary_; }
   const ReorgOptions& options() const { return options_; }
 
+  /// The engine's virtual clock, in simulated minutes: advances with every
+  /// attempt's copy price and every backoff. Node deaths trigger against
+  /// this clock, so trajectories replay identically on any machine.
+  double virtual_minutes() const { return virtual_minutes_; }
+
+  /// Plans Begin()-ed on this engine. Add to ReorgOptions::plan_ordinal_base
+  /// when handing fault identity to a successor engine.
+  int plans_begun() const { return begins_; }
+
  private:
   /// Byte budget for the next increment: the callback's grant (or the fixed
   /// increment_gb), clamped to a one-byte floor.
   int64_t NextBudgetBytes();
+
+  /// True when `node` is on the engine's observed-dead list.
+  bool IsDead(cluster::NodeId node) const;
+
+  /// Applies injector-scheduled node deaths due at the current virtual time
+  /// (and re-checks earlier deaths against freshly staged moves): a death
+  /// that owns staged destinations triggers ReplanAroundDeadNode.
+  util::Status ProcessNodeDeaths();
+
+  /// Reroutes every staged move targeting `dead` onto surviving new nodes
+  /// (deterministic least-projected-load, ties to the lowest id), preserving
+  /// the Table-1 property by construction. Unavailable when no new node
+  /// survives.
+  util::Status ReplanAroundDeadNode(cluster::NodeId dead);
+
+  /// Backoff before 1-based retry `k`, in virtual milliseconds.
+  double BackoffMsBeforeRetry(int k) const;
 
   cluster::Cluster* cluster_;
   const cluster::CostModel* cost_model_;
@@ -176,6 +299,14 @@ class IncrementalReorgEngine {
   int copy_threads_ = 1;
   cluster::NodeId first_new_node_ = cluster::kInvalidNode;
   ReorgSummary summary_;
+  double virtual_minutes_ = 0.0;
+  int begins_ = 0;
+  /// Ordinal of the currently staged plan (base + Begin count), mixed into
+  /// every fault draw.
+  int plan_ordinal_ = 0;
+  /// Nodes observed dead, ascending (sorted vector: deterministic iteration
+  /// under determinism-lint rule R1).
+  std::vector<cluster::NodeId> dead_nodes_;
 };
 
 }  // namespace arraydb::reorg

@@ -231,14 +231,29 @@ Admission SessionServer::Submit(int session, Request request) {
   AdvanceLocked(arrival);
 
   Session& s = sessions_[static_cast<size_t>(session)];
+  // Degraded mode sheds batch queue capacity: fault recovery owns part of
+  // the bandwidth, so sustained batch work is admitted against a smaller
+  // queue while interactive limits stay untouched.
+  int tier_limit = options_.admission.max_tier_queue;
+  if (options_.degraded && tier == Tier::kBatch) {
+    const double keep =
+        1.0 - std::clamp(options_.admission.degraded_batch_shed_fraction,
+                         0.0, 1.0);
+    tier_limit = static_cast<int>(
+        std::floor(keep * static_cast<double>(tier_limit)));
+  }
   Admission verdict = Admission::kAdmitted;
   if (s.queued >= options_.admission.max_session_queue) {
     verdict = Admission::kRejectedSessionQueue;
     stats.rejected_session_queue++;
-  } else if (tier_queued_[TierIndex(tier)] >=
-             options_.admission.max_tier_queue) {
+  } else if (tier_queued_[TierIndex(tier)] >= tier_limit) {
     verdict = Admission::kRejectedTierSaturated;
     stats.rejected_tier_saturated++;
+    if (tier_queued_[TierIndex(tier)] <
+        options_.admission.max_tier_queue) {
+      // Only the degraded shed, not the configured limit, turned this away.
+      TELEM_COUNTER_ADD("serve.degraded_sheds", 1);
+    }
   } else if (inflight_gb_ + request.scan_gb >
              options_.admission.max_inflight_gb) {
     verdict = Admission::kRejectedBytesInFlight;

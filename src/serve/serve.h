@@ -63,6 +63,11 @@ struct AdmissionLimits {
   int max_tier_queue = 512;
   /// Cap on the summed scan_gb of admitted-but-unfinished requests.
   double max_inflight_gb = 1024.0;
+  /// Fraction of the batch tier's queue capacity shed while the server runs
+  /// degraded (ServerOptions::degraded — fault recovery is consuming
+  /// bandwidth): batch admission tightens so retry traffic and interactive
+  /// queries keep their headroom. Clamped to [0, 1]; 0 disables shedding.
+  double degraded_batch_shed_fraction = 0.5;
 };
 
 struct SchedulerPolicy {
@@ -93,6 +98,12 @@ struct ServerOptions {
   /// Service-time dilation applied to every request (>= 1): the three-way
   /// arbiter's query_dilation, charging migration intrusion to service.
   double service_dilation = 1.0;
+  /// Degraded mode: fault recovery (retries, replans, aborts) is active in
+  /// the migration plane, so the batch tier's queue capacity is shed by
+  /// AdmissionLimits::degraded_batch_shed_fraction. Interactive admission
+  /// and all scheduling are untouched — results stay bit-identical; only
+  /// batch shed decisions can differ.
+  bool degraded = false;
   AdmissionLimits admission;
   SchedulerPolicy policy;
   /// Base execution context for compute closures; Finish() derives the

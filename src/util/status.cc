@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -51,6 +53,15 @@ Status OutOfRange(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+
+Status Annotate(const Status& status, const std::string& context) {
+  if (status.ok() || context.empty()) return status;
+  if (status.message().empty()) return Status(status.code(), context);
+  return Status(status.code(), context + ": " + status.message());
 }
 
 }  // namespace arraydb::util

@@ -23,6 +23,9 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// A transient resource failure: retrying later may succeed (a failed
+  /// chunk transfer, an exhausted retry budget).
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -60,6 +63,15 @@ Status AlreadyExists(std::string message);
 Status FailedPrecondition(std::string message);
 Status OutOfRange(std::string message);
 Status Internal(std::string message);
+Status Unavailable(std::string message);
+
+/// Error-context chaining: returns `status` with `context` prepended to its
+/// message ("context: original message"), preserving the code. Each layer of
+/// a failure path annotates the cause it propagates, so the final string
+/// reads outermost-first, e.g.
+///   "increment 3, retry 2: transfer to node 5 failed"
+/// OK statuses pass through unchanged (annotating success is a no-op).
+Status Annotate(const Status& status, const std::string& context);
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored StatusOr aborts.

@@ -67,6 +67,23 @@ void RecordCycleTelemetry(const CycleMetrics& m, bool scaled_out) {
   }
   TELEM_HISTOGRAM_RECORD("workload.runner.cycle_elapsed_ms",
                          MinutesToMs(m.elapsed_minutes));
+  // Fault/recovery mirror (zero-valued adds are skipped so fault-free runs
+  // leave no workload.runner.fault metrics behind).
+  if (m.faults_injected > 0) {
+    TELEM_COUNTER_ADD("workload.runner.faults_injected", m.faults_injected);
+  }
+  if (m.retries > 0) TELEM_COUNTER_ADD("workload.runner.retries", m.retries);
+  if (m.replans > 0) TELEM_COUNTER_ADD("workload.runner.replans", m.replans);
+  if (m.reorg_aborts > 0) {
+    TELEM_COUNTER_ADD("workload.runner.reorg_aborts", m.reorg_aborts);
+  }
+  if (m.reorg_abandoned) {
+    TELEM_COUNTER_ADD("workload.runner.reorgs_abandoned", 1);
+  }
+  if (m.recovery_overhead_minutes > 0.0) {
+    TELEM_COUNTER_ADD("workload.runner.recovery_overhead_ms",
+                      MinutesToMs(m.recovery_overhead_minutes));
+  }
 }
 
 // Raw latencies and admission counts pooled across every serving cycle
@@ -89,11 +106,12 @@ ServingCycleMetrics RunServingCycle(
     const ServingConfig& cfg, const exec::QueryEngine& engine,
     const cluster::PlacementView& view, const array::ArraySchema& schema,
     const std::vector<std::pair<std::string, exec::QueryCost>>& suite,
-    double dilation, int cycle, ServingPools* pools) {
+    double dilation, bool degraded, int cycle, ServingPools* pools) {
   serve::ServerOptions options;
   options.workers = cfg.workers;
   options.slice_minutes = cfg.slice_minutes;
   options.service_dilation = dilation;
+  options.degraded = degraded;
   options.admission = cfg.admission;
   options.policy = cfg.policy;
   serve::SessionServer server(options);
@@ -249,7 +267,39 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     int64_t committed_chunks = 0;
     int increments = 0;
     int over_budget_increments = 0;
+    int64_t faults_injected = 0;
+    int64_t transient_failures = 0;
+    int64_t slow_copies = 0;
+    int64_t retries = 0;
+    int64_t timeouts = 0;
+    int64_t node_deaths = 0;
+    int64_t replans = 0;
+    double backoff_ms = 0.0;
+    double recovery_overhead_minutes = 0.0;
+    double retry_gb = 0.0;
   } charged;
+
+  // Fault-scenario state. The injector outlives every engine; the ordinal
+  // base accumulates Begin counts across engine instances so a restaged or
+  // successor plan draws fresh fault fates; the virtual clock feeds node-
+  // death schedules; the staged plan is kept so an abort can restage it.
+  const bool faults_on = config_.fault.enabled;
+  ARRAYDB_CHECK(!faults_on || config_.reorg.mode != ReorgMode::kBlocking);
+  std::optional<fault::FaultInjector> injector;
+  if (faults_on) injector.emplace(config_.fault.plan);
+  int plan_ordinal_base = 0;
+  double virtual_now = 0.0;
+  double retry_backlog_gb = 0.0;
+  cluster::MovePlan active_plan;
+  cluster::NodeId active_first_new = cluster::kInvalidNode;
+  int plan_restarts = 0;
+  // Folds the accumulated Begin count into the ordinal base and releases
+  // the engine — every background.reset() goes through here.
+  const auto release_background = [&] {
+    plan_ordinal_base += background->plans_begun();
+    background.reset();
+    arbiter.reset();
+  };
 
   for (int cycle = 0; cycle < workload.num_cycles(); ++cycle) {
     TELEM_SPAN("workload.runner.cycle");
@@ -280,8 +330,13 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
           s.over_budget_increments - charged.over_budget_increments;
       m.reorg_only_to_new_nodes =
           m.reorg_only_to_new_nodes && s.only_to_new_nodes;
+      // A replan can revert committed bytes, driving the delta negative;
+      // the charge never goes negative (the re-copy re-charges those bytes,
+      // and the completion cycle absorbs the residue exactly).
       double charge =
-          s.moved_gb > 0.0 ? s.work_minutes * (moved / s.moved_gb) : 0.0;
+          s.moved_gb > 0.0
+              ? std::max(0.0, s.work_minutes * (moved / s.moved_gb))
+              : 0.0;
       if (background->pending_chunks() == 0) {
         charge = s.work_minutes - plan_minutes_charged;
       }
@@ -292,6 +347,84 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       charged.committed_chunks = s.committed_chunks;
       charged.increments = s.increments;
       charged.over_budget_increments = s.over_budget_increments;
+      // Fault/recovery deltas. Overhead minutes are real elapsed work on
+      // top of the plan's schedule-invariant price; retry traffic feeds
+      // the next cycle's bandwidth demand.
+      m.faults_injected += s.faults_injected - charged.faults_injected;
+      m.transient_failures +=
+          s.transient_failures - charged.transient_failures;
+      m.slow_copies += s.slow_copies - charged.slow_copies;
+      m.retries += s.retries - charged.retries;
+      m.timeouts += s.timeouts - charged.timeouts;
+      m.node_deaths += s.node_deaths - charged.node_deaths;
+      m.replans += s.replans - charged.replans;
+      m.backoff_ms += s.backoff_ms - charged.backoff_ms;
+      const double recovery =
+          s.recovery_overhead_minutes - charged.recovery_overhead_minutes;
+      if (recovery > 0.0) {
+        m.recovery_overhead_minutes += recovery;
+        m.reorg_minutes += recovery;
+        engine.RecordReorgMinutes(recovery);
+      }
+      const double new_retry_gb = s.retry_gb - charged.retry_gb;
+      if (new_retry_gb > 0.0) {
+        m.retry_backlog_gb += new_retry_gb;
+        retry_backlog_gb += new_retry_gb;
+      }
+      charged.faults_injected = s.faults_injected;
+      charged.transient_failures = s.transient_failures;
+      charged.slow_copies = s.slow_copies;
+      charged.retries = s.retries;
+      charged.timeouts = s.timeouts;
+      charged.node_deaths = s.node_deaths;
+      charged.replans = s.replans;
+      charged.backoff_ms = s.backoff_ms;
+      charged.recovery_overhead_minutes = s.recovery_overhead_minutes;
+      charged.retry_gb = s.retry_gb;
+    };
+
+    // Recovery driver for every migration call site: runs the engine work,
+    // and when it fails (an increment exhausted its retries, or a replan
+    // found no surviving destination) charges the work done, aborts — the
+    // rollback restores the exact pre-reorg placement from the retained
+    // source replicas — and restages the plan under a fresh fault ordinal,
+    // up to FaultConfig::max_plan_restarts. Past that the reorganization is
+    // abandoned: the cluster keeps serving, just unbalanced. The first
+    // attempt runs on a migrator thread overlapped with the batch placement
+    // prewarm when asked (kOverlapped's structure); recovery reruns skip
+    // the prewarm, which already happened.
+    const auto run_migration = [&](bool drain_all, bool overlap_prewarm) {
+      bool prewarmed = false;
+      for (;;) {
+        util::Status status;
+        std::thread migrator([&background, &status, drain_all] {
+          status = drain_all ? background->StepAll()
+                             : background->Step().status();
+        });
+        if (overlap_prewarm && !prewarmed && ingest_threads > 1) {
+          engine.partitioner().PrewarmPlacement(batch, ingest_threads);
+        }
+        prewarmed = true;
+        migrator.join();
+        if (status.ok()) return;
+        ARRAYDB_CHECK(faults_on);
+        charge_migration();
+        m.reorg_aborts += 1;
+        result.total_reorg_aborts += 1;
+        ARRAYDB_CHECK(background->Abort().ok());
+        m.rolled_back_gb += background->summary().rolled_back_gb;
+        if (plan_restarts >= config_.fault.max_plan_restarts) {
+          release_background();
+          m.reorg_abandoned = true;
+          result.reorgs_abandoned += 1;
+          return;
+        }
+        plan_restarts += 1;
+        ARRAYDB_CHECK(
+            background->Begin(active_plan, active_first_new).ok());
+        plan_minutes_charged = 0.0;
+        charged = {};
+      }
     };
 
     // Phase 1 (§3.4): determine whether the cluster is under-provisioned
@@ -315,16 +448,18 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     // force-drains the remainder first: the cluster must quiesce before the
     // next repartitioning can stage its plan.
     if (to_add > 0 && background.has_value()) {
-      const auto& s = background->summary();
-      const double remaining = s.moved_gb - s.committed_gb;
+      const double remaining = background->summary().moved_gb -
+                               background->summary().committed_gb;
       cycle_budget_gb = remaining;
-      ARRAYDB_CHECK(background->Drain().ok());
-      charge_migration();
+      run_migration(/*drain_all=*/true, /*overlap_prewarm=*/false);
+      if (background.has_value()) {
+        charge_migration();
+        ARRAYDB_CHECK(background->Finish().ok());
+        release_background();
+      }
       m.migration_budget_gb += remaining;
       m.reorg_forced_drain = true;
       result.forced_drains += 1;
-      background.reset();
-      arbiter.reset();
     }
 
     if (to_add > 0) {
@@ -339,6 +474,14 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
         reorg::ReorgOptions opts;
         opts.increment_gb = config_.reorg.increment_gb;
         opts.copy_threads = ingest_threads;
+        if (faults_on) {
+          opts.injector = &*injector;
+          opts.retry = config_.fault.retry;
+          opts.increment_timeout_minutes =
+              config_.fault.increment_timeout_minutes;
+          opts.virtual_start_minutes = virtual_now;
+          opts.plan_ordinal_base = plan_ordinal_base;
+        }
         if (paced) {
           // Each increment is sized by the cycle grant the budget policy
           // last computed (the arbiter's, or the fixed per-cycle budget).
@@ -351,6 +494,9 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
         const auto begun =
             background->Begin(prep.plan, prep.first_new_node);
         ARRAYDB_CHECK(begun.ok());
+        active_plan = prep.plan;
+        active_first_new = prep.first_new_node;
+        plan_restarts = 0;
         plan_minutes_charged = 0.0;
         charged = {};
         if (paced) {
@@ -366,31 +512,23 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
         } else if (config_.reorg.mode == ReorgMode::kIncremental) {
           // Drain before the insert: same serialized schedule as blocking,
           // but sliced, validated, and tracked per increment.
-          ARRAYDB_CHECK(background->Drain().ok());
+          run_migration(/*drain_all=*/true, /*overlap_prewarm=*/false);
         } else {
           // kOverlapped: migrate on a background thread while this thread
           // prewarms the batch's placement state. The two touch disjoint
           // state (cluster vs. partitioner) and are each deterministic, so
           // the overlap is free of ordering effects. The prewarm's rank memo
           // makes IngestBatch's own prewarm a cache hit.
-          std::thread migrator(
-              [&background] { ARRAYDB_CHECK(background->StepAll().ok()); });
-          if (ingest_threads > 1) {
-            engine.partitioner().PrewarmPlacement(batch, ingest_threads);
-          }
-          migrator.join();
+          run_migration(/*drain_all=*/true, /*overlap_prewarm=*/true);
         }
-        if (!paced) {
-          const auto& summary = background->summary();
-          m.reorg_minutes = summary.work_minutes;
-          m.moved_gb = summary.moved_gb;
-          m.chunks_moved = summary.chunks_moved;
-          m.reorg_only_to_new_nodes = summary.only_to_new_nodes;
-          m.reorg_increments = summary.increments;
-          m.reorg_over_budget_increments = summary.over_budget_increments;
-          engine.RecordReorgMinutes(summary.work_minutes);
+        if (!paced && background.has_value()) {
+          // Fully drained: the charge is exactly the plan's work_minutes
+          // (plus any fault-recovery overhead), same as the legacy direct
+          // summary read.
+          charge_migration();
           if (config_.reorg.mode == ReorgMode::kIncremental) {
-            background.reset();
+            ARRAYDB_CHECK(background->Finish().ok());
+            release_background();
           }
         }
       }
@@ -406,6 +544,11 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       const auto& s = background->summary();
       cluster::BandwidthDemand demand;
       demand.remaining_migration_gb = s.moved_gb - s.committed_gb;
+      // Retry traffic observed since the last grant widens this cycle's
+      // migration demand (one-cycle lag keeps the arbitration causal and
+      // deterministic); presented once, then cleared.
+      demand.retry_backlog_gb = retry_backlog_gb;
+      retry_backlog_gb = 0.0;
       demand.projected_ingest_gb = batch_gb;
       demand.overlap_window_minutes = overlap_window.estimate();
       demand.num_nodes = engine.cluster().num_nodes();
@@ -421,18 +564,8 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       cycle_budget_gb = shares.budget.migration_gb;
       m.migration_budget_gb += shares.budget.migration_gb;
       serving_dilation = shares.query_dilation;
-      std::thread migrator([&background, deadline] {
-        if (deadline) {
-          ARRAYDB_CHECK(background->StepAll().ok());
-        } else {
-          ARRAYDB_CHECK(background->Step().ok());
-        }
-      });
-      if (ingest_threads > 1) {
-        engine.partitioner().PrewarmPlacement(batch, ingest_threads);
-      }
-      migrator.join();
-      charge_migration();
+      run_migration(/*drain_all=*/deadline, /*overlap_prewarm=*/true);
+      if (background.has_value()) charge_migration();
     }
 
     // Phase 2: ingest the batch. In kOverlapped mode with the legacy drain
@@ -478,10 +611,17 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
       // metrics — the one coupling is the three-way arbiter's dilation
       // computed above, which stretches virtual service times.
       if (config_.serving.enabled) {
-        m.serving =
-            RunServingCycle(config_.serving, query_engine, view,
-                            workload.schema(), suite, serving_dilation, cycle,
-                            &serving_pools);
+        // Graceful degradation: a cycle that saw fault recovery (retries,
+        // timeouts, replans, aborts) serves with the batch tier's queue
+        // capacity shed, protecting interactive latency while the
+        // migration plane re-transfers.
+        m.serving_degraded =
+            faults_on && (m.retries > 0 || m.timeouts > 0 ||
+                          m.replans > 0 || m.reorg_aborts > 0);
+        m.serving = RunServingCycle(config_.serving, query_engine, view,
+                                    workload.schema(), suite,
+                                    serving_dilation, m.serving_degraded,
+                                    cycle, &serving_pools);
       }
     }
 
@@ -491,8 +631,7 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     if (background.has_value() &&
         (!paced || background->pending_chunks() == 0)) {
       ARRAYDB_CHECK(background->Finish().ok());
-      background.reset();
-      arbiter.reset();
+      release_background();
     }
 
     // Overlap credit: in kOverlapped mode the query workload executed during
@@ -525,7 +664,17 @@ RunResult WorkloadRunner::Run(const Workload& workload) const {
     result.total_ingest_stall_minutes += m.ingest_stall_minutes;
     result.total_over_budget_increments += m.reorg_over_budget_increments;
     result.total_elapsed_minutes += m.elapsed_minutes;
+    result.total_faults_injected += m.faults_injected;
+    result.total_retries += m.retries;
+    result.total_timeouts += m.timeouts;
+    result.total_node_deaths += m.node_deaths;
+    result.total_replans += m.replans;
+    result.total_backoff_ms += m.backoff_ms;
+    result.total_recovery_overhead_minutes += m.recovery_overhead_minutes;
     result.mean_rsd += m.rsd;
+    // Simulated wall time feeds the virtual clock the next plan's engine
+    // starts at (node-death schedules trigger against it).
+    virtual_now += m.elapsed_minutes;
     RecordCycleTelemetry(m, to_add > 0);
     result.cycles.push_back(std::move(m));
   }

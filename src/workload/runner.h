@@ -25,6 +25,7 @@
 #define ARRAYDB_WORKLOAD_RUNNER_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "core/provisioner.h"
 #include "exec/engine.h"
 #include "exec/exec_context.h"
+#include "fault/fault.h"
 #include "reorg/bandwidth_arbiter.h"
 #include "reorg/reorg_engine.h"
 #include "serve/serve.h"
@@ -139,6 +141,34 @@ struct ServingConfig {
   serve::SchedulerPolicy policy;
 };
 
+/// Fault-scenario settings: when enabled, every incremental reorganization
+/// runs against a deterministic fault::FaultInjector — transient transfer
+/// failures retry under the engine's backoff policy, slow copies dilate,
+/// scheduled node deaths trigger replans onto the surviving new nodes — and
+/// the runner recovers from exhausted retries by aborting (exact pre-reorg
+/// restore via the retained source replicas) and restaging the plan under a
+/// fresh fault ordinal. Queries keep flowing mid-fault through the
+/// dual-residency view and stay bit-identical to a quiesced cluster.
+/// Requires an incremental ReorgMode; kBlocking scale-outs bypass the
+/// injection hooks entirely.
+struct FaultConfig {
+  bool enabled = false;
+  /// Seeded fault schedule (rates, dilation, node deaths). The node-death
+  /// times are matched against the reorg engine's virtual clock, which
+  /// starts at the run's elapsed simulated minutes when a plan begins.
+  fault::FaultPlan plan;
+  /// Per-increment retry/backoff schedule.
+  reorg::RetryPolicy retry;
+  /// Per-increment copy timeout, in virtual minutes (infinity = disabled).
+  double increment_timeout_minutes =
+      std::numeric_limits<double>::infinity();
+  /// Abort-and-restage attempts per plan after the engine's own retries are
+  /// exhausted. Past this the reorganization is abandoned: the rollback has
+  /// already restored the exact pre-reorg placement, so the cluster keeps
+  /// serving correctly — just unbalanced until a later scale-out.
+  int max_plan_restarts = 2;
+};
+
 struct RunnerConfig {
   core::PartitionerKind partitioner =
       core::PartitionerKind::kConsistentHash;
@@ -157,6 +187,7 @@ struct RunnerConfig {
   exec::ExecContext exec_context;
   ReorgConfig reorg;
   ServingConfig serving;
+  FaultConfig fault;
   cluster::CostParams cost_params;
   exec::EngineParams engine_params;
   bool run_queries = true;
@@ -223,6 +254,32 @@ struct CycleMetrics {
   /// Wall time of the cycle: insert + reorg + benchmarks, minus the overlap
   /// credit. Equals the serial sum outside kOverlapped.
   double elapsed_minutes = 0.0;
+  // -- Fault/recovery metrics (zero unless FaultConfig::enabled) ----------
+  int64_t faults_injected = 0;
+  int64_t transient_failures = 0;
+  int64_t slow_copies = 0;
+  int64_t retries = 0;
+  int64_t timeouts = 0;
+  int64_t node_deaths = 0;
+  int64_t replans = 0;
+  /// Virtual backoff milliseconds spent between copy attempts.
+  double backoff_ms = 0.0;
+  /// Abort-and-restage recoveries this cycle (engine retries exhausted).
+  int reorg_aborts = 0;
+  /// Committed GB rolled back onto source replicas by aborts this cycle.
+  double rolled_back_gb = 0.0;
+  /// True when the plan ran out of restage attempts and was abandoned (the
+  /// rollback left the exact pre-reorg placement; the cluster serves on).
+  bool reorg_abandoned = false;
+  /// Virtual minutes of pure fault overhead charged to this cycle's
+  /// reorg_minutes (failed attempts, backoff, dilation, replan re-copies).
+  double recovery_overhead_minutes = 0.0;
+  /// Retry traffic observed this cycle, fed to the next cycle's bandwidth
+  /// arbitration as BandwidthDemand::retry_backlog_gb.
+  double retry_backlog_gb = 0.0;
+  /// True when the serving layer ran this cycle in degraded mode (batch
+  /// admission shed) because fault recovery was active.
+  bool serving_degraded = false;
   /// Per-query latencies (name, minutes) for figure-level series.
   std::vector<std::pair<std::string, double>> query_minutes;
   /// Serving-layer stats for this cycle (ran == false unless
@@ -255,6 +312,17 @@ struct RunResult {
   serve::LatencySummary serving_batch;
   int64_t serving_admitted = 0;
   int64_t serving_rejected = 0;
+  // -- Fault/recovery totals (zero unless FaultConfig::enabled) -----------
+  int64_t total_faults_injected = 0;
+  int64_t total_retries = 0;
+  int64_t total_timeouts = 0;
+  int64_t total_node_deaths = 0;
+  int64_t total_replans = 0;
+  int total_reorg_aborts = 0;
+  /// Reorganizations abandoned after exhausting restage attempts.
+  int reorgs_abandoned = 0;
+  double total_backoff_ms = 0.0;
+  double total_recovery_overhead_minutes = 0.0;
 
   double total_benchmark_minutes() const {
     return total_spj_minutes + total_science_minutes;

@@ -109,6 +109,17 @@ def main():
         f"{rules}\n{out}",
     )
 
+    # The fault subsystem is determinism-critical (the injector is probed
+    # from inside parallel copy loops and every chaos trajectory must be
+    # bit-replayable), so pin it into the audited scope explicitly: a path
+    # refactor must not silently drop it from the scan.
+    rc, rules, out = run_lint([os.path.join(REPO, "src", "fault")])
+    check(
+        "src/fault/ audited and clean",
+        rc == 0 and not rules and " 0 files" not in out,
+        f"{rules}\n{out}",
+    )
+
     if failures:
         print(f"\n{len(failures)} lint self-check failure(s)")
         return 1
